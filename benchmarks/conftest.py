@@ -1,0 +1,32 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Each file under ``benchmarks/`` regenerates one of the paper's tables or
+figures (see DESIGN.md's per-experiment index), timing the generation
+with pytest-benchmark and asserting the paper's qualitative shape on
+the produced series.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.figures.campaign import clear_cache
+
+
+@pytest.fixture
+def cold_campaign():
+    """Clear the shared campaign cache so timings measure real work."""
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def run_cold(benchmark, generate, *args, **kwargs):
+    """Benchmark ``generate`` with a cache clear before every round."""
+    def setup():
+        clear_cache()
+        return args, kwargs
+
+    return benchmark.pedantic(generate, setup=setup, rounds=2, iterations=1)

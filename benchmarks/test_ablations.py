@@ -1,0 +1,41 @@
+"""Bench: the ablation studies DESIGN.md calls out.
+
+Not paper figures — these time (and shape-check) the design-choice
+sweeps built on top of the reproduction: the neighbor-skin trade-off,
+Newton's third law for Chute, the GPU rank-budget tuning, weak scaling,
+and the -DFFT_SINGLE flag.
+"""
+
+import pytest
+
+from repro.studies.fft_precision import fft_precision_study
+from repro.studies.gpu_ranks import best_total_ranks, gpu_rank_tuning_study
+from repro.studies.newton import newton_ablation
+from repro.studies.skin import optimal_skin, skin_sweep_model
+from repro.studies.weak_scaling import weak_scaling_study
+
+
+def test_skin_sweep(benchmark):
+    points = benchmark.pedantic(skin_sweep_model, rounds=2, iterations=1)
+    assert 0.1 <= optimal_skin(points) <= 0.5
+
+
+def test_newton_ablation(benchmark):
+    comparisons = benchmark.pedantic(newton_ablation, rounds=2, iterations=1)
+    at_scale = [c for c in comparisons if c.n_atoms > 1_000_000 and c.n_ranks == 1]
+    assert at_scale[0].speedup_from_newton > 1.3
+
+
+def test_gpu_rank_tuning(benchmark):
+    points = benchmark.pedantic(gpu_rank_tuning_study, rounds=2, iterations=1)
+    assert best_total_ranks(points) == 48
+
+
+def test_weak_scaling(benchmark):
+    points = benchmark.pedantic(weak_scaling_study, rounds=2, iterations=1)
+    assert points[-1].weak_efficiency > 0.8
+
+
+def test_fft_precision_flag(benchmark):
+    points = benchmark.pedantic(fft_precision_study, rounds=2, iterations=1)
+    assert points[-1].slowdown == pytest.approx(1.35, abs=0.15)

@@ -1,0 +1,24 @@
+"""Bench: per-timestep cost of the functional engine per benchmark.
+
+Not a paper figure — this times the *substrate* itself, one suite
+benchmark per case at laptop scale, so regressions in the numpy engine
+show up in benchmark history.
+"""
+
+import pytest
+
+from repro.suite import BENCHMARK_NAMES, get_benchmark
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_engine_timestep(benchmark, name):
+    sim = get_benchmark(name).build(300)
+    sim.setup()
+    sim.run(3)  # warm the neighbor list and force caches
+
+    def steps():
+        sim.run(5)
+        return sim.counts.timesteps
+
+    total = benchmark.pedantic(steps, rounds=3, iterations=1)
+    assert total >= 18

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 3 (CPU task breakdown)."""
+
+from repro.figures import fig03
+
+from benchmarks.conftest import run_cold
+
+
+def test_fig03_full_grid(benchmark, cold_campaign):
+    data = run_cold(benchmark, fig03.generate)
+    assert len(data.series) == 5 * 4 * 7
+    # Paper shape: LJ is >75% Pair serially; Comm grows with ranks for
+    # small systems; Chain/Chute Pair shares sit far below LJ's.
+    assert data.series[("lj", 32, 1)]["Pair"] > 0.75
+    assert data.series[("lj", 32, 64)]["Comm"] > data.series[("lj", 32, 1)]["Comm"]
+    assert data.series[("chain", 864, 1)]["Pair"] < data.series[("lj", 864, 1)]["Pair"]
+    assert data.series[("chute", 864, 1)]["Pair"] < data.series[("lj", 864, 1)]["Pair"]

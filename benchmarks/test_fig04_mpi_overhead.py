@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 4 (MPI overhead and imbalance)."""
+
+from repro.figures import fig04
+
+from benchmarks.conftest import run_cold
+
+
+def test_fig04_overhead_and_imbalance(benchmark, cold_campaign):
+    data = run_cold(benchmark, fig04.generate)
+    # Overhead decreases with system size; Chain/Chute imbalance exceeds
+    # LJ/EAM (the paper's Section 5.1 orderings).
+    small_mpi, _ = data.series[("lj", 32, 64)]
+    big_mpi, _ = data.series[("lj", 2048, 64)]
+    assert big_mpi < small_mpi
+    _, chain_imb = data.series[("chain", 2048, 64)]
+    _, eam_imb = data.series[("eam", 2048, 64)]
+    assert chain_imb > eam_imb

@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 5 (MPI function breakdown)."""
+
+from repro.figures import fig05
+
+from benchmarks.conftest import run_cold
+
+
+def test_fig05_function_breakdown(benchmark, cold_campaign):
+    data = run_cold(benchmark, fig05.generate)
+    # MPI_Init is the dominant entry for small fast systems and its
+    # share grows with the rank count (Section 5.1).
+    small = data.series[("lj", 32, 64)]
+    assert small["MPI_Init"] == max(small.values())
+    assert small["MPI_Init"] > data.series[("lj", 32, 4)]["MPI_Init"]
+    # Data exchange grows more prominent with system size.
+    big = data.series[("lj", 2048, 64)]
+    assert big["MPI_Send"] + big["MPI_Sendrecv"] > small["MPI_Send"] + small["MPI_Sendrecv"]

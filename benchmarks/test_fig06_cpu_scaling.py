@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 6 (CPU perf / energy / parallel efficiency)."""
+
+import pytest
+
+from repro.figures import fig06
+
+from benchmarks.conftest import run_cold
+
+
+def test_fig06_cpu_strong_scaling(benchmark, cold_campaign):
+    data = run_cold(benchmark, fig06.generate)
+    # Anchors and orderings from Section 5.2.
+    assert data.series[("rhodo", 2048, 64)]["ts_per_s"] == pytest.approx(10.77, rel=0.2)
+    chute_32 = data.series[("chute", 32, 64)]["ts_per_s"]
+    assert chute_32 > data.series[("lj", 32, 64)]["ts_per_s"]
+    assert chute_32 == pytest.approx(10_697, rel=0.25)
+    # Chute has the worst parallel efficiency for > 32k atoms.
+    for size in (256, 864, 2048):
+        chute_eff = data.series[("chute", size, 64)]["parallel_efficiency_pct"]
+        for bench in ("lj", "eam", "rhodo"):
+            assert chute_eff < data.series[(bench, size, 64)]["parallel_efficiency_pct"]

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 7 (GPU task breakdown, no Chute)."""
+
+from repro.figures import fig07
+
+from benchmarks.conftest import run_cold
+
+
+def test_fig07_gpu_task_breakdown(benchmark, cold_campaign):
+    data = run_cold(benchmark, fig07.generate)
+    assert {key[0] for key in data.series} == {"rhodo", "lj", "chain", "eam"}
+    # Rhodopsin's GPU pair share falls below 25%; EAM stays pair-bound;
+    # SHAKE keeps Rhodopsin's Modify prominent (Section 6.1).
+    assert data.series[("rhodo", 2048, 8)]["Pair"] < 0.25
+    eam = data.series[("eam", 2048, 1)]
+    assert eam["Pair"] == max(eam.values())
+    assert data.series[("rhodo", 2048, 8)]["Modify"] > 0.10

@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 8 (GPU kernels and data movement)."""
+
+from repro.figures import fig08
+
+from benchmarks.conftest import run_cold
+
+
+def _top_compute_kernel(fractions):
+    compute = {k: v for k, v in fractions.items() if not k.startswith("[")}
+    return max(compute, key=compute.get)
+
+
+def test_fig08_kernel_breakdown(benchmark, cold_campaign):
+    data = run_cold(benchmark, fig08.generate)
+    # Data movement dominates device activity (Section 6.1).
+    lj = data.series[("lj", 2048, 8)]
+    moved = sum(v for k, v in lj.items() if k.startswith("[CUDA"))
+    assert moved > 0.35
+    # Rhodopsin's kernel ordering flips between 864k and 2048k atoms.
+    assert _top_compute_kernel(data.series[("rhodo", 864, 8)]) in (
+        "make_rho",
+        "particle_map",
+        "interp",
+    )
+    assert _top_compute_kernel(data.series[("rhodo", 2048, 8)]) == "calc_neigh_list_cell"

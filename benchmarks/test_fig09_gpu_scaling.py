@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 9 (GPU perf / energy / parallel efficiency)."""
+
+import pytest
+
+from repro.figures import fig09
+
+from benchmarks.conftest import run_cold
+
+
+def test_fig09_gpu_strong_scaling(benchmark, cold_campaign):
+    data = run_cold(benchmark, fig09.generate)
+    assert data.series[("rhodo", 2048, 8)]["ts_per_s"] == pytest.approx(16.09, rel=0.2)
+    # EAM beats Chain on the GPU (reverse of the CPU ordering).
+    for size in (256, 2048):
+        assert (
+            data.series[("eam", size, 8)]["ts_per_s"]
+            > data.series[("chain", size, 8)]["ts_per_s"]
+        )
+    # Efficiency floor well below the CPU instance's.
+    floor = min(m["parallel_efficiency_pct"] for m in data.series.values())
+    assert floor < 40.0

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 10 (rhodo CPU perf vs error threshold)."""
+
+import pytest
+
+from repro.figures import fig10
+
+from benchmarks.conftest import run_cold
+
+
+def test_fig10_threshold_sweep(benchmark, cold_campaign):
+    data = run_cold(benchmark, fig10.generate)
+    assert data.series[(1e-4, 2048, 64)]["ts_per_s"] == pytest.approx(10.77, rel=0.2)
+    assert data.series[(1e-7, 2048, 64)]["ts_per_s"] == pytest.approx(3.54, rel=0.25)
+    # Monotone degradation and worse strong scaling at tight thresholds.
+    for size in (32, 2048):
+        perf = [data.series[(t, size, 64)]["ts_per_s"] for t in (1e-4, 1e-5, 1e-6, 1e-7)]
+        assert perf == sorted(perf, reverse=True)
+    assert (
+        data.series[(1e-7, 2048, 64)]["parallel_efficiency_pct"]
+        < data.series[(1e-4, 2048, 64)]["parallel_efficiency_pct"]
+    )

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 11 (rhodo task breakdown vs threshold)."""
+
+from repro.figures import fig11
+
+from benchmarks.conftest import run_cold
+
+
+def test_fig11_kspace_share_growth(benchmark, cold_campaign):
+    data = run_cold(benchmark, fig11.generate)
+    for size in (256, 2048):
+        shares = [
+            data.series[(t, size, 64)]["Kspace"] for t in (1e-4, 1e-5, 1e-6, 1e-7)
+        ]
+        assert shares == sorted(shares)
+    assert data.series[(1e-7, 2048, 2)]["Kspace"] > 0.5

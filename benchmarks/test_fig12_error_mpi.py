@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 12 (rhodo MPI functions vs threshold)."""
+
+from repro.figures import fig12
+
+from benchmarks.conftest import run_cold
+
+
+def test_fig12_send_prevalence(benchmark, cold_campaign):
+    data = run_cold(benchmark, fig12.generate)
+    # At tight thresholds Send's share grows with system size: less
+    # synchronization, more actual data exchange (Section 7).
+    small = data.series[(1e-7, 32, 16)]["MPI_Send"]
+    big = data.series[(1e-7, 2048, 16)]["MPI_Send"]
+    assert big > small
+    for fractions in data.series.values():
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9

@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 13 (rhodo GPU perf vs error threshold)."""
+
+import pytest
+
+from repro.figures import fig13
+
+from benchmarks.conftest import run_cold
+
+
+def test_fig13_gpu_collapse(benchmark, cold_campaign):
+    data = run_cold(benchmark, fig13.generate)
+    base = data.series[(1e-4, 2048, 8)]["ts_per_s"]
+    tight = data.series[(1e-7, 2048, 8)]["ts_per_s"]
+    assert base == pytest.approx(16.09, rel=0.2)
+    assert tight == pytest.approx(0.46, rel=0.35)
+    # The GPU pays an order of magnitude more than the CPU's ~3x.
+    assert base / tight > 15.0

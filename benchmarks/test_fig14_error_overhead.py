@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 14 (rhodo MPI overhead vs threshold)."""
+
+from repro.figures import fig14
+
+from benchmarks.conftest import run_cold
+
+
+def test_fig14_overhead_reduction(benchmark, cold_campaign):
+    data = run_cold(benchmark, fig14.generate)
+    # Lowering the threshold reduces the relative MPI overhead.
+    base_mpi, _ = data.series[(1e-4, 2048, 64)]
+    tight_mpi, _ = data.series[(1e-7, 2048, 64)]
+    assert tight_mpi < base_mpi
+    for mpi_pct, imb_pct in data.series.values():
+        assert 0 <= imb_pct <= mpi_pct <= 100

@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 16 (GPU precision sensitivity)."""
+
+import pytest
+
+from repro.figures import fig16
+
+from benchmarks.conftest import run_cold
+
+
+def test_fig16_gpu_precision(benchmark, cold_campaign):
+    data = run_cold(benchmark, fig16.generate)
+    assert data.series[("lj", "single", 2048, 8)] == pytest.approx(170.0, rel=0.2)
+    assert data.series[("lj", "double", 2048, 8)] == pytest.approx(121.6, rel=0.2)
+    # LJ-on-GPU is the most precision-sensitive configuration; the
+    # Rhodopsin step barely notices (Section 8).
+    lj_drop = data.series[("lj", "double", 2048, 8)] / data.series[
+        ("lj", "single", 2048, 8)
+    ]
+    rhodo_drop = data.series[("rhodo", "double", 2048, 8)] / data.series[
+        ("rhodo", "single", 2048, 8)
+    ]
+    assert lj_drop < 0.85 < 0.90 < rhodo_drop

@@ -1,0 +1,14 @@
+"""Bench: regenerate the Section 10 headline turnaround numbers."""
+
+import pytest
+
+from repro.figures import headline
+
+from benchmarks.conftest import run_cold
+
+
+def test_headline_turnaround(benchmark, cold_campaign):
+    data = run_cold(benchmark, headline.generate)
+    assert data.series["cpu_ns_per_day"] == pytest.approx(2.0, rel=0.2)
+    assert data.series["gpu_ns_per_day"] == pytest.approx(2.8, rel=0.2)
+    assert data.series["gpu_utilization"] == pytest.approx(0.30, abs=0.12)

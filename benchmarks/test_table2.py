@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 2 (benchmark suite taxonomy)."""
+
+from repro.figures import table2
+
+from benchmarks.conftest import run_cold
+
+
+def test_table2_taxonomy(benchmark, cold_campaign):
+    data = run_cold(benchmark, table2.generate)
+    assert list(data.series) == ["rhodo", "lj", "chain", "eam", "chute"]
+    assert data.series["lj"]["Neighbors/atom"] == "55"
+    assert data.series["rhodo"]["kspace_style"] == "pppm"
+    assert "gran/hooke/history" in data.render()
+
+
+def test_table2_neighbors_measured_by_engine(benchmark):
+    """The neighbors/atom column re-derived by actually building the
+    LJ system and constructing its neighbor list."""
+    measured = benchmark.pedantic(
+        table2.measure_neighbors, args=("lj", 500), rounds=2, iterations=1
+    )
+    assert abs(measured - 55) / 55 < 0.06

@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 3 (instance descriptions)."""
+
+from repro.figures import table3
+
+from benchmarks.conftest import run_cold
+
+
+def test_table3_instances(benchmark, cold_campaign):
+    data = run_cold(benchmark, table3.generate)
+    rendered = data.render()
+    assert "Intel Xeon Platinum 8358" in rendered
+    assert "NVIDIA V100" in rendered
+    assert len(data.series["cpu_specs"]) == 9
+    assert len(data.series["gpu_specs"]) == 8

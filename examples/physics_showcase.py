@@ -1,0 +1,93 @@
+"""Physics showcase: the functional MD engine on its own terms.
+
+Demonstrates that the substrate under the characterization study is a
+real molecular-dynamics engine, not a stopwatch:
+
+* Ewald summation reproduces the NaCl Madelung constant;
+* PPPM converges to Ewald as its grid refines;
+* a rigid-water (SHAKE) box runs stable NPT dynamics with PPPM
+  electrostatics — the full Rhodopsin-proxy stack;
+* a granular bed flows down the 26-degree chute under gravity while
+  dissipating energy through frictional contacts.
+
+Run:  python examples/physics_showcase.py
+"""
+
+import numpy as np
+
+from repro.md import EwaldSummation, NeighborList, PPPM
+from repro.md.atoms import AtomSystem
+from repro.md.box import Box
+from repro.md.potentials.charmm import CharmmCoulLong
+from repro.suite import get_benchmark
+
+
+def madelung_demo() -> None:
+    print("--- Ewald summation vs the NaCl Madelung constant ---")
+    n = 4
+    coords = (
+        np.array(np.meshgrid(*[np.arange(n)] * 3, indexing="ij")).reshape(3, -1).T
+    ).astype(float)
+    charges = np.where(coords.sum(axis=1) % 2 == 0, 1.0, -1.0)
+    system = AtomSystem(coords + 0.25, Box([n, n, n]), charges=charges)
+
+    alpha = 2.0
+    pair = CharmmCoulLong(
+        epsilon=[0.0], sigma=[1.0], lj_inner=1.2, cutoff=1.9, alpha=alpha
+    )
+    nlist = NeighborList(1.9, 0.0)
+    nlist.build(system)
+    real = pair.energy_only(system, nlist)
+    recip = EwaldSummation(alpha, accuracy=1e-8).energy_only(system)
+    madelung = -2.0 * (real + recip) / system.n_atoms
+    print(f"computed Madelung constant: {madelung:.6f}   (exact: 1.747565)\n")
+
+
+def pppm_convergence_demo() -> None:
+    print("--- PPPM converges to Ewald with grid refinement ---")
+    rng = np.random.default_rng(3)
+    box = Box([9.0, 9.0, 9.0])
+    q = rng.normal(size=60)
+    q -= q.mean()
+    system = AtomSystem(rng.uniform(0, 9, (60, 3)), box, charges=q)
+    system.forces[:] = 0.0
+    EwaldSummation(1.0, accuracy=1e-10).compute(system)
+    reference = system.forces.copy()
+    for grid in ((16,) * 3, (24,) * 3, (32,) * 3):
+        system.forces[:] = 0.0
+        PPPM(accuracy=1e-4, cutoff=3.0, alpha=1.0, grid=grid).compute(system)
+        rel = np.sqrt(np.mean((system.forces - reference) ** 2)) / np.sqrt(
+            np.mean(reference**2)
+        )
+        print(f"  grid {grid[0]:>2d}^3: relative RMS force error {rel:.2e}")
+    print()
+
+
+def rhodo_stack_demo() -> None:
+    print("--- Rigid-water NPT dynamics (the rhodopsin-proxy stack) ---")
+    sim = get_benchmark("rhodo").build(300)
+    sim.run(40)
+    assert sim.constraints is not None
+    print(f"  atoms: {sim.system.n_atoms}, SHAKE constraints: {sim.n_constraints}")
+    print(f"  PPPM grid: {sim.kspace.grid}, alpha={sim.kspace.alpha:.3f}")
+    print(f"  after 40 steps: T={sim.system.temperature(sim.n_constraints):.3f}, "
+          f"max constraint violation {sim.constraints.max_violation(sim.system):.1e}")
+    print()
+
+
+def chute_flow_demo() -> None:
+    print("--- Granular chute flow with frictional contact history ---")
+    sim = get_benchmark("chute").build(200)
+    potential = sim.potentials[0]
+    sim.run(400)
+    v_down = sim.system.velocities[:, 0].mean()
+    print(f"  grains: {sim.system.n_atoms}, active contacts: "
+          f"{potential.active_contacts}")
+    print(f"  mean downhill velocity after 400 steps: {v_down:.4f} (flows +x)")
+
+
+if __name__ == "__main__":
+    madelung_demo()
+    pppm_convergence_demo()
+    rhodo_stack_demo()
+    chute_flow_demo()

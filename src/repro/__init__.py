@@ -1,0 +1,48 @@
+"""repro — reproduction of "Characterizing Molecular Dynamics Simulation
+on Commodity Platforms" (Peverelli et al., IISWC 2022).
+
+The library has two layers:
+
+1. a **functional MD engine** (:mod:`repro.md`) implementing, from
+   scratch in numpy, all the physics the paper's five LAMMPS benchmarks
+   exercise — LJ melt, FENE polymer chains, EAM copper, granular chute
+   flow, and a solvated-biomolecule proxy with PPPM electrostatics,
+   SHAKE constraints and NPT integration (packaged as the ready-made
+   suite in :mod:`repro.suite`);
+2. a **calibrated performance model** of the paper's two cloud nodes
+   (:mod:`repro.platforms`, :mod:`repro.perfmodel`) with simulated
+   single-node MPI (:mod:`repro.parallel`) and multi-GPU offload
+   (:mod:`repro.gpu`) execution, driven by the Figure 2 automation
+   framework (:mod:`repro.core`), regenerating every table and figure
+   of the evaluation (:mod:`repro.figures`).
+
+Quickstart::
+
+    from repro.suite import get_benchmark
+    sim = get_benchmark("lj").build(500)
+    sim.run(100)
+    print(sim.task_breakdown())
+
+    from repro.parallel import simulate_cpu_run
+    print(simulate_cpu_run("rhodo", 2_048_000, 64).ts_per_s)
+"""
+
+from repro.core import ExperimentSpec, Mode, RunsTable, run_experiment, sweep
+from repro.gpu import simulate_gpu_run
+from repro.parallel import simulate_cpu_run
+from repro.suite import get_benchmark, registry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentSpec",
+    "Mode",
+    "sweep",
+    "run_experiment",
+    "RunsTable",
+    "simulate_cpu_run",
+    "simulate_gpu_run",
+    "get_benchmark",
+    "registry",
+    "__version__",
+]

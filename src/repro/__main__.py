@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the workflow of the authors' run/profile scripts:
+
+* ``campaign`` — sweep a parameter space on a simulated instance and
+  write the results in the artifact layout (``runs.csv`` + profiles);
+* ``figure``  — regenerate one paper table/figure as a text table;
+* ``anchors`` — print the paper-vs-measured anchor scoreboard;
+* ``run-deck`` — parse and execute a LAMMPS input deck (the supported
+  command subset, see ``repro.md.deck``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from pathlib import Path
+
+from repro.core.aggregator import RunsTable
+from repro.core.artifact import ArtifactLayout
+from repro.core.experiment import Mode, sweep
+from repro.core.runner import run_experiment
+from repro.perfmodel.workloads import GPU_COUNTS, RANK_COUNTS, SIZES_K
+from repro.suite import CPU_BENCHMARKS, GPU_BENCHMARKS
+
+FIGURES = (
+    "table2",
+    "table3",
+    *(f"fig{n:02d}" for n in range(3, 17)),
+    "headline",
+)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    benchmarks = args.benchmarks or (
+        CPU_BENCHMARKS if args.platform == "cpu" else GPU_BENCHMARKS
+    )
+    resources = args.resources or (
+        RANK_COUNTS if args.platform == "cpu" else GPU_COUNTS
+    )
+    sizes = args.sizes or SIZES_K
+    table = RunsTable()
+    layout = ArtifactLayout(args.out)
+    specs = list(
+        sweep(benchmarks, args.platform, sizes, resources, mode=Mode.PROFILING)
+    )
+    print(f"running {len(specs)} simulated experiments on the "
+          f"{args.platform} instance ...")
+    for spec in specs:
+        record = run_experiment(spec)
+        table.add(record)
+        layout.write_profile(record)
+    written = layout.write_runs(table)
+    for platform, path in written.items():
+        print(f"wrote {platform} runs to {path}")
+    print(f"wrote {len(layout.profile_index())} profile files under {args.out}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    module = importlib.import_module(f"repro.figures.{args.name}")
+    print(module.generate().render())
+    return 0
+
+
+def _cmd_anchors(args: argparse.Namespace) -> int:
+    from repro.gpu import simulate_gpu_run
+    from repro.parallel import simulate_cpu_run
+    from repro.perfmodel.calibration import PAPER_ANCHORS as A
+
+    rows = [
+        ("rhodo CPU 2048k/64 [TS/s]", A.rhodo_cpu_2048k_64r_ts,
+         simulate_cpu_run("rhodo", 2_048_000, 64).ts_per_s),
+        ("rhodo CPU 2048k/64 @1e-7 [TS/s]", A.rhodo_cpu_2048k_64r_ts_e7,
+         simulate_cpu_run("rhodo", 2_048_000, 64, kspace_error=1e-7).ts_per_s),
+        ("lj CPU single [TS/s]", A.lj_cpu_2048k_64r_ts_single,
+         simulate_cpu_run("lj", 2_048_000, 64, precision="single").ts_per_s),
+        ("lj CPU double [TS/s]", A.lj_cpu_2048k_64r_ts_double,
+         simulate_cpu_run("lj", 2_048_000, 64, precision="double").ts_per_s),
+        ("rhodo GPU 2048k/8 [TS/s]", A.rhodo_gpu_2048k_8g_ts,
+         simulate_gpu_run("rhodo", 2_048_000, 8).ts_per_s),
+        ("rhodo GPU @1e-7 [TS/s]", A.rhodo_gpu_2048k_8g_ts_e7,
+         simulate_gpu_run("rhodo", 2_048_000, 8, kspace_error=1e-7).ts_per_s),
+        ("lj GPU single [TS/s]", A.lj_gpu_2048k_8g_ts_single,
+         simulate_gpu_run("lj", 2_048_000, 8, precision="single").ts_per_s),
+        ("rhodo CPU [ns/day]", A.rhodo_cpu_ns_per_day,
+         simulate_cpu_run("rhodo", 2_048_000, 64).ns_per_day(2.0)),
+        ("rhodo GPU [ns/day]", A.rhodo_gpu_ns_per_day,
+         simulate_gpu_run("rhodo", 2_048_000, 8).ns_per_day(2.0)),
+    ]
+    print(f"{'anchor':<36s} {'paper':>8s} {'measured':>9s} {'delta':>7s}")
+    print("-" * 64)
+    for name, paper, measured in rows:
+        delta = 100.0 * (measured - paper) / paper
+        print(f"{name:<36s} {paper:>8.2f} {measured:>9.2f} {delta:>+6.1f}%")
+    return 0
+
+
+def _cmd_run_deck(args: argparse.Namespace) -> int:
+    from repro.core.report import render_breakdown
+    from repro.md.deck import parse_deck
+
+    deck = parse_deck(Path(args.deck).read_text())
+    print(f"parsed {len(deck.commands)} commands "
+          f"({deck.units} units, {deck.simulation.system.n_atoms} atoms); "
+          f"running {deck.run_steps} steps ...")
+    simulation = deck.run()
+    print(f"done: {simulation.counts.timesteps} steps, "
+          f"T = {simulation.system.temperature():.4f}, "
+          f"E_total = {simulation.total_energy():.4f}")
+    print(render_breakdown(simulation.task_breakdown(), title="Task breakdown:"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="IISWC'22 MD-characterization reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser("campaign", help="run a simulated campaign")
+    campaign.add_argument("--platform", choices=("cpu", "gpu"), default="cpu")
+    campaign.add_argument("--benchmarks", nargs="*", default=None)
+    campaign.add_argument("--sizes", nargs="*", type=int, default=None,
+                          help="system sizes in thousands of atoms")
+    campaign.add_argument("--resources", nargs="*", type=int, default=None,
+                          help="MPI ranks (cpu) or devices (gpu)")
+    campaign.add_argument("--out", default="campaign_output")
+    campaign.set_defaults(func=_cmd_campaign)
+
+    figure = sub.add_parser("figure", help="regenerate one table/figure")
+    figure.add_argument("name", choices=FIGURES)
+    figure.set_defaults(func=_cmd_figure)
+
+    anchors = sub.add_parser("anchors", help="paper-vs-measured scoreboard")
+    anchors.set_defaults(func=_cmd_anchors)
+
+    run_deck = sub.add_parser("run-deck", help="execute a LAMMPS input deck")
+    run_deck.add_argument("deck", help="path to the input script")
+    run_deck.set_defaults(func=_cmd_run_deck)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Per-figure data generators: one module per paper table/figure.
+
+Every module exposes ``generate(...)`` returning a
+:class:`~repro.figures.base.FigureData` whose ``series`` holds exactly
+the numbers the paper's plot shows and whose ``render()`` produces a
+text table.  The benchmark harness under ``benchmarks/`` times these
+generators and asserts the paper's qualitative shapes on their output;
+``EXPERIMENTS.md`` records the paper-vs-measured comparison.
+"""
+
+from repro.figures.base import FigureData
+
+__all__ = ["FigureData"]

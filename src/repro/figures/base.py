@@ -1,0 +1,29 @@
+"""Common scaffolding for figure/table reproduction modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["FigureData"]
+
+
+@dataclass
+class FigureData:
+    """The data behind one reproduced figure or table.
+
+    ``series`` is figure-specific structured data (documented per
+    module); ``renderer`` turns it into the text table the examples
+    print and EXPERIMENTS.md embeds.
+    """
+
+    figure_id: str
+    title: str
+    series: dict[str, Any] = field(default_factory=dict)
+    renderer: Callable[["FigureData"], str] | None = None
+
+    def render(self) -> str:
+        header = f"=== {self.figure_id}: {self.title} ==="
+        if self.renderer is None:
+            return header
+        return header + "\n" + self.renderer(self)

@@ -1,0 +1,56 @@
+"""Figure 3 — CPU execution-time breakdown by task.
+
+One panel per (benchmark, size): the Table 1 task shares for each MPI
+process count.  The paper's headline observations, asserted by the
+benchmark harness:
+
+* the Pair share tracks neighbors/atom (LJ > EAM >> Chain/Chute even
+  though Chain and LJ share a force field);
+* LJ spends > 75 % of a serial run in Pair;
+* parallelization shrinks the Pair share less for larger systems, while
+  Comm grows to dominate small systems at high rank counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.experiment import ExperimentSpec
+from repro.core.report import render_table
+from repro.figures.base import FigureData
+from repro.figures.campaign import RANK_COUNTS, SIZES_K, cached_run
+from repro.suite import CPU_BENCHMARKS
+
+__all__ = ["generate"]
+
+
+def generate(
+    benchmarks: Iterable[str] = CPU_BENCHMARKS,
+    sizes_k: Iterable[int] = SIZES_K,
+    ranks: Iterable[int] = RANK_COUNTS,
+) -> FigureData:
+    """``series[(benchmark, size_k, n_ranks)] -> {task: fraction}``."""
+    series: dict[tuple[str, int, int], Mapping[str, float]] = {}
+    for bench in benchmarks:
+        for size in sizes_k:
+            for n_ranks in ranks:
+                record = cached_run(
+                    ExperimentSpec(bench, "cpu", size, n_ranks)
+                )
+                series[(bench, size, n_ranks)] = record.task_fractions
+
+    def _render(data: FigureData) -> str:
+        tasks = ("Bond", "Comm", "Kspace", "Modify", "Neigh", "Other", "Output", "Pair")
+        headers = ["benchmark", "size[k]", "ranks", *tasks]
+        rows = [
+            [b, s, r, *(f"{100 * frac.get(t, 0.0):.1f}%" for t in tasks)]
+            for (b, s, r), frac in sorted(data.series.items())
+        ]
+        return render_table(headers, rows)
+
+    return FigureData(
+        figure_id="Figure 3",
+        title="CPU task breakdown per benchmark/size/rank-count",
+        series=series,
+        renderer=_render,
+    )

@@ -1,0 +1,65 @@
+"""Figure 4 — total MPI overhead and MPI imbalance percentages.
+
+For the "-long" (10k-timestep) profiling runs: the per-rank share of
+time inside MPI calls (top row) and the share spent waiting for data
+(bottom row).  Shapes asserted downstream:
+
+* overhead decreases with system size (computation grows faster than
+  communication, the paper's O(L^3) vs O(L^2) argument);
+* EAM and LJ have far lower imbalance than Chain and Chute.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.experiment import ExperimentSpec
+from repro.core.report import render_table
+from repro.figures.base import FigureData
+from repro.figures.campaign import SIZES_K, cached_run
+from repro.suite import CPU_BENCHMARKS
+
+__all__ = ["generate", "MPI_RANKS"]
+
+#: The paper's Figures 4/5 sweep ranks 4..64 (1-2 ranks have ~no MPI).
+MPI_RANKS: tuple[int, ...] = (4, 8, 16, 32, 64)
+
+
+def generate(
+    benchmarks: Iterable[str] = CPU_BENCHMARKS,
+    sizes_k: Iterable[int] = SIZES_K,
+    ranks: Iterable[int] = MPI_RANKS,
+    kspace_error: float | None = None,
+) -> FigureData:
+    """``series[(bench, size, ranks)] -> (mpi_pct, imbalance_pct)``.
+
+    ``kspace_error`` reuses this generator for Figure 14's rhodo sweep.
+    """
+    series: dict[tuple[str, int, int], tuple[float, float]] = {}
+    for bench in benchmarks:
+        for size in sizes_k:
+            for n_ranks in ranks:
+                record = cached_run(
+                    ExperimentSpec(
+                        bench, "cpu", size, n_ranks, kspace_error=kspace_error
+                    )
+                )
+                series[(bench, size, n_ranks)] = (
+                    100.0 * record.mpi_time_fraction,
+                    100.0 * record.mpi_imbalance_fraction,
+                )
+
+    def _render(data: FigureData) -> str:
+        headers = ["benchmark", "size[k]", "ranks", "MPI time %", "MPI imbalance %"]
+        rows = [
+            [b, s, r, f"{t:.1f}", f"{i:.2f}"]
+            for (b, s, r), (t, i) in sorted(data.series.items())
+        ]
+        return render_table(headers, rows)
+
+    return FigureData(
+        figure_id="Figure 4",
+        title="MPI overhead and imbalance (long runs)",
+        series=series,
+        renderer=_render,
+    )

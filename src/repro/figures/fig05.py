@@ -1,0 +1,61 @@
+"""Figure 5 — breakdown of MPI time by function.
+
+Per (benchmark, size, ranks): the share of MPI time in MPI_Init,
+MPI_Send, MPI_Sendrecv, MPI_Wait, MPI_Allreduce and the rest.  Shapes
+asserted downstream (Section 5.1's findings):
+
+* MPI_Init takes a considerable share, growing with the rank count;
+* small systems are dominated by Init + Wait (synchronization, not
+  data), while Send/Sendrecv/Allreduce grow with system size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.experiment import ExperimentSpec
+from repro.core.report import render_table
+from repro.figures.base import FigureData
+from repro.figures.campaign import SIZES_K, cached_run
+from repro.figures.fig04 import MPI_RANKS
+from repro.parallel.mpi_model import MPI_FUNCTIONS
+from repro.suite import CPU_BENCHMARKS
+
+__all__ = ["generate"]
+
+
+def generate(
+    benchmarks: Iterable[str] = CPU_BENCHMARKS,
+    sizes_k: Iterable[int] = SIZES_K,
+    ranks: Iterable[int] = MPI_RANKS,
+    kspace_error: float | None = None,
+) -> FigureData:
+    """``series[(bench, size, ranks)] -> {mpi_function: fraction}``.
+
+    ``kspace_error`` reuses this generator for Figure 12's rhodo sweep.
+    """
+    series: dict[tuple[str, int, int], Mapping[str, float]] = {}
+    for bench in benchmarks:
+        for size in sizes_k:
+            for n_ranks in ranks:
+                record = cached_run(
+                    ExperimentSpec(
+                        bench, "cpu", size, n_ranks, kspace_error=kspace_error
+                    )
+                )
+                series[(bench, size, n_ranks)] = record.mpi_function_fractions
+
+    def _render(data: FigureData) -> str:
+        headers = ["benchmark", "size[k]", "ranks", *MPI_FUNCTIONS]
+        rows = [
+            [b, s, r, *(f"{100 * frac.get(fn, 0.0):.1f}%" for fn in MPI_FUNCTIONS)]
+            for (b, s, r), frac in sorted(data.series.items())
+        ]
+        return render_table(headers, rows)
+
+    return FigureData(
+        figure_id="Figure 5",
+        title="MPI function breakdown of the MPI overhead",
+        series=series,
+        renderer=_render,
+    )

@@ -1,0 +1,82 @@
+"""Figure 6 — CPU performance, energy efficiency, parallel efficiency.
+
+The strong-scaling triple for every benchmark and size on the CPU
+instance.  Anchors and shapes asserted downstream:
+
+* Rhodopsin is slowest in absolute TS/s (10.77 TS/s at 2048k/64);
+* Chute leads at 32k but loses its advantage at larger sizes and shows
+  the worst parallel efficiency;
+* all efficiencies stay in (0, 100]; energy efficiency peaks for the
+  small/cheap configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.experiment import ExperimentSpec
+from repro.core.metrics import parallel_efficiency
+from repro.core.report import render_table
+from repro.figures.base import FigureData
+from repro.figures.campaign import RANK_COUNTS, SIZES_K, cached_run
+from repro.suite import CPU_BENCHMARKS
+
+__all__ = ["generate"]
+
+
+def generate(
+    benchmarks: Iterable[str] = CPU_BENCHMARKS,
+    sizes_k: Iterable[int] = SIZES_K,
+    ranks: Iterable[int] = RANK_COUNTS,
+    *,
+    kspace_error: float | None = None,
+    precision: str = "mixed",
+) -> FigureData:
+    """``series[(bench, size, ranks)] -> {ts_per_s, ts_per_s_per_watt,
+    parallel_efficiency_pct}`` (reused by Figures 10 and 15 sweeps)."""
+    ranks = tuple(ranks)
+    series: dict[tuple[str, int, int], dict[str, float]] = {}
+    for bench in benchmarks:
+        for size in sizes_k:
+            baseline: float | None = None
+            for n_ranks in ranks:
+                record = cached_run(
+                    ExperimentSpec(
+                        bench,
+                        "cpu",
+                        size,
+                        n_ranks,
+                        kspace_error=kspace_error,
+                        precision=precision,
+                    )
+                )
+                if baseline is None:
+                    baseline = record.ts_per_s / n_ranks
+                series[(bench, size, n_ranks)] = {
+                    "ts_per_s": record.ts_per_s,
+                    "ts_per_s_per_watt": record.energy_efficiency,
+                    "parallel_efficiency_pct": 100.0
+                    * parallel_efficiency(record.ts_per_s, baseline, n_ranks),
+                }
+
+    def _render(data: FigureData) -> str:
+        headers = ["benchmark", "size[k]", "ranks", "TS/s", "TS/s/W", "par.eff %"]
+        rows = [
+            [
+                b,
+                s,
+                r,
+                f"{m['ts_per_s']:.4g}",
+                f"{m['ts_per_s_per_watt']:.4g}",
+                f"{m['parallel_efficiency_pct']:.1f}",
+            ]
+            for (b, s, r), m in sorted(data.series.items())
+        ]
+        return render_table(headers, rows)
+
+    return FigureData(
+        figure_id="Figure 6",
+        title="CPU performance / energy efficiency / parallel efficiency",
+        series=series,
+        renderer=_render,
+    )

@@ -1,0 +1,51 @@
+"""Figure 7 — GPU execution-time breakdown by task (no Chute).
+
+Shapes asserted downstream (Section 6.1):
+
+* the Rhodopsin Pair share drops below 25 % (the GPU pair kernel is
+  well optimized), while EAM still spends most of its time in Pair;
+* Rhodopsin's Modify share grows vs the CPU breakdown (SHAKE has no GPU
+  implementation and runs on the host).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.experiment import ExperimentSpec
+from repro.core.report import render_table
+from repro.figures.base import FigureData
+from repro.figures.campaign import GPU_COUNTS, SIZES_K, cached_run
+from repro.suite import GPU_BENCHMARKS
+
+__all__ = ["generate"]
+
+
+def generate(
+    benchmarks: Iterable[str] = GPU_BENCHMARKS,
+    sizes_k: Iterable[int] = SIZES_K,
+    gpus: Iterable[int] = GPU_COUNTS,
+) -> FigureData:
+    """``series[(benchmark, size_k, n_gpus)] -> {task: fraction}``."""
+    series: dict[tuple[str, int, int], Mapping[str, float]] = {}
+    for bench in benchmarks:
+        for size in sizes_k:
+            for n_gpus in gpus:
+                record = cached_run(ExperimentSpec(bench, "gpu", size, n_gpus))
+                series[(bench, size, n_gpus)] = record.task_fractions
+
+    def _render(data: FigureData) -> str:
+        tasks = ("Bond", "Comm", "Kspace", "Modify", "Neigh", "Other", "Output", "Pair")
+        headers = ["benchmark", "size[k]", "gpus", *tasks]
+        rows = [
+            [b, s, g, *(f"{100 * frac.get(t, 0.0):.1f}%" for t in tasks)]
+            for (b, s, g), frac in sorted(data.series.items())
+        ]
+        return render_table(headers, rows)
+
+    return FigureData(
+        figure_id="Figure 7",
+        title="GPU task breakdown per benchmark/size/device-count",
+        series=series,
+        renderer=_render,
+    )

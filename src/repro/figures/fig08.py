@@ -1,0 +1,52 @@
+"""Figure 8 — GPU kernels and data-movement breakdown.
+
+Per configuration: the share of device time in each named CUDA kernel
+and the memcpy/memset entries.  Shapes asserted downstream:
+
+* data movement (HtoD + DtoH) takes the majority of active device time
+  ("the amount of computation per communication is sub-optimal");
+* the combined EAM pair kernels outlast Rhodopsin's k_charmm_long;
+* for Rhodopsin, the long-range kernels (make_rho/particle_map) lead up
+  to 864k atoms, then calc_neigh_list_cell becomes prevalent at 2048k.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.experiment import ExperimentSpec
+from repro.core.report import render_table
+from repro.figures.base import FigureData
+from repro.figures.campaign import GPU_COUNTS, SIZES_K, cached_run
+from repro.suite import GPU_BENCHMARKS
+
+__all__ = ["generate"]
+
+
+def generate(
+    benchmarks: Iterable[str] = GPU_BENCHMARKS,
+    sizes_k: Iterable[int] = SIZES_K,
+    gpus: Iterable[int] = GPU_COUNTS,
+) -> FigureData:
+    """``series[(benchmark, size_k, n_gpus)] -> {kernel: fraction}``."""
+    series: dict[tuple[str, int, int], Mapping[str, float]] = {}
+    for bench in benchmarks:
+        for size in sizes_k:
+            for n_gpus in gpus:
+                record = cached_run(ExperimentSpec(bench, "gpu", size, n_gpus))
+                series[(bench, size, n_gpus)] = record.kernel_fractions
+
+    def _render(data: FigureData) -> str:
+        lines = []
+        for (b, s, g), fractions in sorted(data.series.items()):
+            top = sorted(fractions.items(), key=lambda kv: -kv[1])[:6]
+            cells = ", ".join(f"{k}={100 * v:.1f}%" for k, v in top)
+            lines.append([b, s, g, cells])
+        return render_table(["benchmark", "size[k]", "gpus", "top entries"], lines)
+
+    return FigureData(
+        figure_id="Figure 8",
+        title="GPU kernel and data-movement breakdown",
+        series=series,
+        renderer=_render,
+    )

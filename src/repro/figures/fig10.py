@@ -1,0 +1,53 @@
+"""Figure 10 — Rhodopsin CPU performance vs k-space error threshold.
+
+Performance and parallel efficiency for thresholds 1e-4 … 1e-7.
+Anchors: at 2048k/64 ranks, 10.77 TS/s and 74.29 % efficiency at 1e-4
+fall to 3.54 TS/s and 56.54 % at 1e-7.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.report import render_table
+from repro.figures import fig06
+from repro.figures.base import FigureData
+from repro.figures.campaign import ERROR_THRESHOLDS, RANK_COUNTS, SIZES_K
+
+__all__ = ["generate"]
+
+
+def generate(
+    sizes_k: Iterable[int] = SIZES_K,
+    ranks: Iterable[int] = RANK_COUNTS,
+    thresholds: Iterable[float] = ERROR_THRESHOLDS,
+) -> FigureData:
+    """``series[(threshold, size, ranks)] -> {ts_per_s, parallel_efficiency_pct}``."""
+    series: dict[tuple[float, int, int], dict[str, float]] = {}
+    for threshold in thresholds:
+        sub = fig06.generate(
+            benchmarks=("rhodo",),
+            sizes_k=sizes_k,
+            ranks=ranks,
+            kspace_error=threshold,
+        )
+        for (bench, size, n_ranks), metrics in sub.series.items():
+            series[(threshold, size, n_ranks)] = {
+                "ts_per_s": metrics["ts_per_s"],
+                "parallel_efficiency_pct": metrics["parallel_efficiency_pct"],
+            }
+
+    def _render(data: FigureData) -> str:
+        headers = ["threshold", "size[k]", "ranks", "TS/s", "par.eff %"]
+        rows = [
+            [f"{t:.0e}", s, r, f"{m['ts_per_s']:.4g}", f"{m['parallel_efficiency_pct']:.1f}"]
+            for (t, s, r), m in sorted(data.series.items(), key=lambda kv: (-kv[0][0], kv[0][1], kv[0][2]))
+        ]
+        return render_table(headers, rows)
+
+    return FigureData(
+        figure_id="Figure 10",
+        title="Rhodopsin CPU performance vs kspace error threshold",
+        series=series,
+        renderer=_render,
+    )

@@ -1,0 +1,55 @@
+"""Figure 11 — Rhodopsin CPU task breakdown vs k-space error threshold.
+
+Shape asserted downstream: the Kspace share of the timestep grows
+monotonically as the threshold tightens from 1e-4 to 1e-7.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.experiment import ExperimentSpec
+from repro.core.report import render_table
+from repro.figures.base import FigureData
+from repro.figures.campaign import ERROR_THRESHOLDS, SIZES_K, cached_run
+
+__all__ = ["generate", "BREAKDOWN_RANKS"]
+
+#: The paper's Figure 11 plots ranks 2..64.
+BREAKDOWN_RANKS: tuple[int, ...] = (2, 4, 8, 16, 32, 64)
+
+
+def generate(
+    sizes_k: Iterable[int] = SIZES_K,
+    ranks: Iterable[int] = BREAKDOWN_RANKS,
+    thresholds: Iterable[float] = ERROR_THRESHOLDS,
+) -> FigureData:
+    """``series[(threshold, size, ranks)] -> {task: fraction}``."""
+    series: dict[tuple[float, int, int], Mapping[str, float]] = {}
+    for threshold in thresholds:
+        for size in sizes_k:
+            for n_ranks in ranks:
+                record = cached_run(
+                    ExperimentSpec(
+                        "rhodo", "cpu", size, n_ranks, kspace_error=threshold
+                    )
+                )
+                series[(threshold, size, n_ranks)] = record.task_fractions
+
+    def _render(data: FigureData) -> str:
+        tasks = ("Bond", "Comm", "Kspace", "Modify", "Neigh", "Other", "Output", "Pair")
+        headers = ["threshold", "size[k]", "ranks", *tasks]
+        rows = [
+            [f"{t:.0e}", s, r, *(f"{100 * frac.get(k, 0.0):.1f}%" for k in tasks)]
+            for (t, s, r), frac in sorted(
+                data.series.items(), key=lambda kv: (-kv[0][0], kv[0][1], kv[0][2])
+            )
+        ]
+        return render_table(headers, rows)
+
+    return FigureData(
+        figure_id="Figure 11",
+        title="Rhodopsin CPU task breakdown vs kspace error threshold",
+        series=series,
+        renderer=_render,
+    )

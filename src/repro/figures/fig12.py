@@ -1,0 +1,60 @@
+"""Figure 12 — Rhodopsin MPI function breakdown vs error threshold.
+
+Shape asserted downstream: at tighter thresholds and bigger systems the
+MPI_Send share grows over the other functions — "less time is spent on
+synchronization between tasks and more time is spent on actual data
+exchange" (Section 7).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.experiment import ExperimentSpec
+from repro.core.report import render_table
+from repro.figures.base import FigureData
+from repro.figures.campaign import ERROR_THRESHOLDS, SIZES_K, cached_run
+from repro.figures.fig04 import MPI_RANKS
+from repro.parallel.mpi_model import MPI_FUNCTIONS
+
+__all__ = ["generate"]
+
+
+def generate(
+    sizes_k: Iterable[int] = SIZES_K,
+    ranks: Iterable[int] = MPI_RANKS,
+    thresholds: Iterable[float] = ERROR_THRESHOLDS,
+) -> FigureData:
+    """``series[(threshold, size, ranks)] -> {mpi_function: fraction}``."""
+    series: dict[tuple[float, int, int], Mapping[str, float]] = {}
+    for threshold in thresholds:
+        for size in sizes_k:
+            for n_ranks in ranks:
+                record = cached_run(
+                    ExperimentSpec(
+                        "rhodo", "cpu", size, n_ranks, kspace_error=threshold
+                    )
+                )
+                series[(threshold, size, n_ranks)] = record.mpi_function_fractions
+
+    def _render(data: FigureData) -> str:
+        headers = ["threshold", "size[k]", "ranks", *MPI_FUNCTIONS]
+        rows = [
+            [
+                f"{t:.0e}",
+                s,
+                r,
+                *(f"{100 * frac.get(fn, 0.0):.1f}%" for fn in MPI_FUNCTIONS),
+            ]
+            for (t, s, r), frac in sorted(
+                data.series.items(), key=lambda kv: (-kv[0][0], kv[0][1], kv[0][2])
+            )
+        ]
+        return render_table(headers, rows)
+
+    return FigureData(
+        figure_id="Figure 12",
+        title="Rhodopsin MPI function breakdown vs kspace error threshold",
+        series=series,
+        renderer=_render,
+    )

@@ -1,0 +1,54 @@
+"""Figure 15 — LJ and Rhodopsin CPU performance by floating-point precision.
+
+Anchors: LJ 2048k/64 ranks drops 115.2 -> 98.9 TS/s from single to
+double; Rhodopsin drops 11.5 -> 8.4 TS/s; mixed stays close to single.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.experiment import ExperimentSpec
+from repro.core.report import render_table
+from repro.figures.base import FigureData
+from repro.figures.campaign import RANK_COUNTS, SIZES_K, cached_run
+from repro.perfmodel.precision import PRECISIONS
+
+__all__ = ["generate", "PRECISION_BENCHMARKS"]
+
+#: The paper plots LJ and Rhodopsin (EAM behaves like LJ, Chain like
+#: Rhodopsin — asserted separately).
+PRECISION_BENCHMARKS: tuple[str, ...] = ("lj", "rhodo")
+
+
+def generate(
+    benchmarks: Iterable[str] = PRECISION_BENCHMARKS,
+    sizes_k: Iterable[int] = SIZES_K,
+    ranks: Iterable[int] = RANK_COUNTS,
+) -> FigureData:
+    """``series[(bench, precision, size, ranks)] -> ts_per_s``."""
+    series: dict[tuple[str, str, int, int], float] = {}
+    for bench in benchmarks:
+        for precision in PRECISIONS:
+            for size in sizes_k:
+                for n_ranks in ranks:
+                    record = cached_run(
+                        ExperimentSpec(
+                            bench, "cpu", size, n_ranks, precision=precision.value
+                        )
+                    )
+                    series[(bench, precision.value, size, n_ranks)] = record.ts_per_s
+
+    def _render(data: FigureData) -> str:
+        headers = ["benchmark", "precision", "size[k]", "ranks", "TS/s"]
+        rows = [
+            [b, p, s, r, f"{ts:.4g}"] for (b, p, s, r), ts in sorted(data.series.items())
+        ]
+        return render_table(headers, rows)
+
+    return FigureData(
+        figure_id="Figure 15",
+        title="CPU performance by floating-point precision (LJ, Rhodopsin)",
+        series=series,
+        renderer=_render,
+    )

@@ -1,0 +1,334 @@
+"""Simulated GPU-instance experiment runs (Section 6's campaign).
+
+The reference GPU package structure being modelled:
+
+* the box is decomposed over ``total_ranks`` MPI processes on the host
+  (the paper found no more than 48 beneficial despite 52 cores);
+* ranks share devices — several subdomains time-multiplex each V100,
+  which raises utilization but serializes their kernels and transfers;
+* every step ships positions to the device and forces back over PCIe;
+* pair forces, neighbor builds and the PPPM grid kernels run on the
+  device; integration, fixes (SHAKE has no GPU port), bonded forces and
+  the PPPM FFTs stay on the host CPU.
+
+The step time is the serialized device queue plus the non-overlapped
+host work plus MPI — which is exactly why multi-GPU strong scaling
+collapses (Figure 9) and why a tight error threshold drowns the run in
+``CUDA memcpy`` (Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.kernels import (
+    DATA_MOVEMENT_ENTRIES,
+    GpuKernelCoefficients,
+    kernel_seconds_per_step,
+    pair_kernel_names,
+)
+from repro.gpu.transfers import PcieModel
+from repro.parallel.decomposition import SubdomainGeometry
+from repro.parallel.mpi_model import MpiModel
+from repro.perfmodel.costs import CpuCostCoefficients, CpuCostModel, kspace_grid
+from repro.perfmodel.precision import Precision
+from repro.perfmodel.workloads import WorkloadParams, get_workload
+from repro.platforms.instances import GPU_INSTANCE, InstanceSpec
+from repro.platforms.power import GpuPowerModel
+
+__all__ = ["GpuRunResult", "simulate_gpu_run", "GpuModelConfig"]
+
+
+@dataclass(frozen=True)
+class GpuModelConfig:
+    """Tunable structure of the offload model (calibrated defaults)."""
+
+    #: Paper finding: beyond 48 total MPI ranks nothing improved.
+    max_total_ranks: int = 48
+    #: The CUDA driver and OS need a few cores; claiming them for MPI
+    #: ranks slows every host task (why 52 ranks lose to 48).
+    driver_reserved_cores: int = 4
+    oversubscription_penalty: float = 1.3
+    #: The GPU-instance host core is slower than the 8358 (2.0 vs 2.6 GHz
+    #: base, older microarchitecture).
+    host_core_slowdown: float = 1.45
+    #: Host-side Modify penalty: SHAKE/NPT run serially per rank without
+    #: the INTEL package's vectorization.
+    host_modify_factor: float = 2.4
+    #: Bonded forces have no GPU port either and run serially per rank.
+    host_bond_factor: float = 3.0
+    #: Fraction of host work hidden under device execution.
+    host_overlap: float = 0.3
+    #: Host<->device synchronization cost per rank per step (driver
+    #: polling, fence waits) — independent of the device count, this is
+    #: the serial fraction that caps multi-GPU strong scaling.
+    offload_sync_s: float = 3.0e-4
+    #: The distributed FFT on the weaker host scales worse than on the
+    #: CPU instance.
+    host_fft_exponent: float = 0.5
+    #: Grid bricks move as strided chunks: effective PCIe efficiency
+    #: relative to the already-derated atom-payload bandwidth.
+    grid_transfer_efficiency: float = 0.5
+    #: Grids shipped per step: rho down, three field components up, and
+    #: per-rank ghost-brick overlap.
+    grids_moved_per_step: float = 7.0
+    #: Per-benchmark pair-kernel tuning quality (k_charmm_long is highly
+    #: optimized; the EAM split is handled in the kernel model).
+    pair_quality: dict = field(
+        default_factory=lambda: {"lj": 1.0, "chain": 1.3, "eam": 1.0, "rhodo": 0.4}
+    )
+    #: Neighbor-kernel congestion: atomics degrade beyond this many
+    #: atoms per device (the Rhodopsin "breaking point" of Section 6.1).
+    neigh_congestion_atoms: float = 1.2e5
+    neigh_congestion_cap: float = 3.5
+
+    def ranks_for(self, n_gpus: int, instance: InstanceSpec) -> int:
+        total = min(self.max_total_ranks, instance.total_cores)
+        # Keep ranks evenly divisible across devices.
+        return max(n_gpus, (total // n_gpus) * n_gpus)
+
+
+@dataclass
+class GpuRunResult:
+    """Everything measured (modelled) for one GPU-instance run."""
+
+    benchmark: str
+    n_atoms: int
+    n_gpus: int
+    total_ranks: int
+    precision: str
+    kspace_error: float | None
+    #: Per-step seconds by Table 1 task (Figure 7).
+    task_seconds: dict[str, float]
+    #: Per-step device seconds by kernel / data-movement entry (Figure 8).
+    kernel_seconds: dict[str, float]
+    step_seconds: float
+    ts_per_s: float
+    #: Share of the step the device spends executing kernels.
+    gpu_utilization: float
+    #: Achieved share of PCIe peak during the step.
+    pcie_utilization: float
+    power_watts: float
+    energy_efficiency: float
+    memory_bytes: float
+
+    def task_fractions(self) -> dict[str, float]:
+        total = sum(self.task_seconds.values())
+        if total <= 0:
+            return {k: 0.0 for k in self.task_seconds}
+        return {k: v / total for k, v in self.task_seconds.items()}
+
+    def kernel_fractions(self) -> dict[str, float]:
+        total = sum(self.kernel_seconds.values())
+        if total <= 0:
+            return {k: 0.0 for k in self.kernel_seconds}
+        return {k: v / total for k, v in self.kernel_seconds.items()}
+
+    def ns_per_day(self, timestep_fs: float) -> float:
+        return self.ts_per_s * timestep_fs * 1e-6 * 86_400.0
+
+
+def simulate_gpu_run(
+    benchmark: str,
+    n_atoms: int,
+    n_gpus: int,
+    *,
+    precision: Precision | str = Precision.MIXED,
+    kspace_error: float | None = None,
+    seed: int = 0,
+    instance: InstanceSpec = GPU_INSTANCE,
+    config: GpuModelConfig | None = None,
+    kernel_coefficients: GpuKernelCoefficients | None = None,
+    pcie: PcieModel | None = None,
+) -> GpuRunResult:
+    """Model one run of ``benchmark`` on ``n_gpus`` V100s."""
+    workload = get_workload(benchmark)
+    if not workload.gpu_supported:
+        raise ValueError(
+            f"{benchmark!r} is unsupported by the reference GPU package "
+            "(gran/hooke pair style, Section 6)"
+        )
+    instance.validate_resources(n_gpus=n_gpus)
+    if kspace_error is not None and not workload.has_kspace:
+        raise ValueError(f"{benchmark} computes no long-range forces")
+
+    cfg = config if config is not None else GpuModelConfig()
+    kc = kernel_coefficients if kernel_coefficients is not None else GpuKernelCoefficients()
+    pcie = pcie if pcie is not None else PcieModel()
+    precision = Precision(precision)
+
+    total_ranks = cfg.ranks_for(n_gpus, instance)
+    ranks_per_gpu = total_ranks // n_gpus
+    n_dev = n_atoms / n_gpus
+    n_rank = n_atoms / total_ranks
+
+    # ------------------------------------------------------------- device
+    kernels = kernel_seconds_per_step(workload, n_dev, precision, kc)
+    # Pair quality tuning and neighbor congestion.
+    quality = cfg.pair_quality.get(benchmark, 1.0)
+    for name in pair_kernel_names(benchmark):
+        kernels[name] *= quality
+    congestion = 1.0 + min(
+        (n_dev / cfg.neigh_congestion_atoms) ** 1.5, cfg.neigh_congestion_cap
+    )
+    kernels["calc_neigh_list_cell"] *= congestion
+
+    kernel_total = sum(kernels.values())
+    n_kernels_launched = sum(1 for v in kernels.values() if v > 0)
+    launch_total = ranks_per_gpu * n_kernels_launched * kc.launch_latency_s
+
+    # -------------------------------------------------------- data motion
+    bytes_per_coord = 4.0 if precision is not Precision.DOUBLE else 8.0
+    atom_payload = n_dev * 3.0 * bytes_per_coord  # each direction
+    htod = pcie.transfer_seconds(atom_payload, n_gpus, ranks_per_gpu)
+    dtoh = pcie.transfer_seconds(atom_payload, n_gpus, ranks_per_gpu)
+    memset = 0.05 * (htod + dtoh)
+
+    grid_transfer = 0.0
+    host_fft = 0.0
+    grid_points = 0.0
+    effective_error = kspace_error if kspace_error is not None else (
+        1e-4 if workload.has_kspace else None
+    )
+    if workload.has_kspace:
+        _, grid = kspace_grid(workload, n_atoms, effective_error or 1e-4)
+        grid_points = float(np.prod(grid))
+        grid_bytes = cfg.grids_moved_per_step * grid_points * 4.0 / n_gpus
+        raw = pcie.transfer_seconds(grid_bytes, n_gpus, 2 * ranks_per_gpu)
+        grid_transfer = raw / cfg.grid_transfer_efficiency
+        # Four FFTs on the host, scaling sub-linearly over the ranks.
+        host_coeffs = CpuCostCoefficients().slowed(cfg.host_core_slowdown)
+        # (FFT threads are MKL-internal and pinned; oversubscription is
+        # charged on the fix/bond path below.)
+        host_fft = (
+            grid_points
+            * np.log2(max(grid_points, 2.0))
+            * host_coeffs.fft_per_point_log
+            * host_coeffs.core_slowdown
+            / total_ranks**cfg.host_fft_exponent
+        )
+        # Split the memcpy entries: grid traffic is HtoD-dominated
+        # (three field grids up vs one density grid down).
+        htod += 0.7 * grid_transfer
+        dtoh += 0.3 * grid_transfer
+
+    device_time = kernel_total + launch_total + htod + dtoh + memset
+
+    # ---------------------------------------------------------------- host
+    host_slowdown = cfg.host_core_slowdown
+    if total_ranks > instance.total_cores - cfg.driver_reserved_cores:
+        # Ranks fight the CUDA driver threads for cores.
+        host_slowdown *= cfg.oversubscription_penalty
+    host_model = CpuCostModel(
+        CpuCostCoefficients().slowed(host_slowdown), precision
+    )
+    host = host_model.compute_times(
+        workload,
+        n_rank,
+        total_ranks,
+        kspace_error=effective_error,
+        n_atoms_total=n_atoms,
+    )
+    # SHAKE/NPT (no GPU port) pay the serial host penalty; plain NVE
+    # integration does not.
+    # Thermostats/constraints (Langevin, SHAKE+NPT) have no GPU port and
+    # run un-vectorized on the host; plain NVE integration is cheap.
+    modify_penalty = cfg.host_modify_factor if workload.modify_weight > 1.5 else 1.0
+    host_modify = host.modify * modify_penalty
+    host_bond = host.bond * cfg.host_bond_factor
+    host_other = host.other + host.output
+    host_work = host_modify + host_bond + host_other + host_fft
+
+    # ------------------------------------------------------------- MPI
+    geometry = SubdomainGeometry.build(
+        total_ranks,
+        workload.box_lengths(n_atoms),
+        ghost_cutoff=workload.cutoff + workload.skin,
+        number_density=workload.number_density,
+        quasi_2d=workload.quasi_2d,
+    )
+    mpi_model = MpiModel()
+    # Device time-multiplexing averages subdomain variation over the
+    # ranks sharing a GPU, so per-rank jitter is half the CPU case's.
+    jitter = 1.0 + 0.5 * (
+        mpi_model.rank_jitter(workload, total_ranks, n_atoms, seed) - 1.0
+    )
+    per_rank = (device_time + host_work) * jitter
+    mpi_times = mpi_model.step_times(
+        workload, geometry, per_rank, kspace_grid_points=grid_points, seed=seed
+    )
+    # Imbalance is carried by the explicit barrier term below; keep only
+    # the transfer/collective parts of the MPI model here.
+    comm = (
+        mpi_times.total
+        - mpi_times.per_function["MPI_Init"]
+        - mpi_times.imbalance
+        + float(np.max(per_rank) - np.mean(per_rank))
+    )
+
+    # --------------------------------------------------------------- step
+    step_seconds = (
+        device_time
+        + (1.0 - cfg.host_overlap) * host_work
+        + cfg.offload_sync_s
+        + comm
+    )
+    ts_per_s = 1.0 / step_seconds
+
+    gpu_utilization = min(1.0, (kernel_total + 0.3 * (htod + dtoh)) / step_seconds)
+    pcie_payload = 2.0 * atom_payload + (
+        cfg.grids_moved_per_step * grid_points * 4.0 / n_gpus
+        if workload.has_kspace
+        else 0.0
+    )
+    pcie_utilization = pcie.utilization(pcie_payload, step_seconds, n_gpus)
+
+    # Task breakdown (Figure 7).
+    pair_kernel_time = sum(kernels[k] for k in pair_kernel_names(benchmark))
+    kspace_kernels = sum(
+        kernels.get(k, 0.0) for k in ("make_rho", "particle_map", "interp")
+    )
+    task_seconds = {
+        "Bond": host_bond,
+        "Comm": comm,
+        "Kspace": kspace_kernels + host_fft + grid_transfer,
+        "Modify": host_modify,
+        "Neigh": kernels["calc_neigh_list_cell"],
+        "Other": launch_total + memset + host_other + cfg.offload_sync_s,
+        "Output": host.output,
+        "Pair": pair_kernel_time + (htod + dtoh - grid_transfer),
+    }
+
+    kernel_seconds = dict(kernels)
+    kernel_seconds["[CUDA memcpy HtoD]"] = htod
+    kernel_seconds["[CUDA memcpy DtoH]"] = dtoh
+    kernel_seconds["[CUDA memset]"] = memset
+    for entry in DATA_MOVEMENT_ENTRIES:
+        kernel_seconds.setdefault(entry, 0.0)
+
+    power = GpuPowerModel(instance).watts(
+        n_gpus,
+        gpu_utilization,
+        host_active_cores=total_ranks,
+        host_utilization=0.5 * workload.core_utilization,
+    )
+
+    return GpuRunResult(
+        benchmark=benchmark,
+        n_atoms=n_atoms,
+        n_gpus=n_gpus,
+        total_ranks=total_ranks,
+        precision=str(precision.value),
+        kspace_error=effective_error if workload.has_kspace else None,
+        task_seconds=task_seconds,
+        kernel_seconds=kernel_seconds,
+        step_seconds=step_seconds,
+        ts_per_s=ts_per_s,
+        gpu_utilization=gpu_utilization,
+        pcie_utilization=pcie_utilization,
+        power_watts=power,
+        energy_efficiency=ts_per_s / power,
+        memory_bytes=workload.memory_bytes(n_atoms),
+    )

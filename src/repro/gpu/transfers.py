@@ -1,0 +1,68 @@
+"""PCIe data-movement model for the GPU instance.
+
+Section 6.2's central finding: "data movement through PCIe occupies most
+of the runtime, but the PCIe bandwidth is under-utilized".  The model
+captures both halves: each V100 sits on a gen3 x16 link (~12 GB/s
+peak), but the many small per-rank transfers achieve only a fraction of
+it, and the eight devices contend for the host's finite aggregate
+bandwidth — so the *effective* per-device rate falls as devices are
+added even while each link sits mostly idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PcieModel"]
+
+
+@dataclass(frozen=True)
+class PcieModel:
+    """Effective PCIe transfer costs.
+
+    Parameters
+    ----------
+    link_bandwidth_b_s:
+        Peak single-direction bandwidth of one device's link.
+    host_aggregate_b_s:
+        Total host-side bandwidth shared by all active devices.
+    transfer_latency_s:
+        Fixed cost per memcpy call (driver + DMA setup), the term that
+        keeps the links under-utilized for small per-rank payloads.
+    small_transfer_efficiency:
+        Fraction of link bandwidth achieved by the per-rank subdomain
+        payloads (sub-MB transfers never reach peak).
+    """
+
+    link_bandwidth_b_s: float = 12.0e9
+    host_aggregate_b_s: float = 30.0e9
+    transfer_latency_s: float = 9.0e-6
+    small_transfer_efficiency: float = 0.8
+
+    def effective_bandwidth(self, n_devices: int) -> float:
+        """Per-device effective bandwidth with ``n_devices`` active."""
+        if n_devices < 1:
+            raise ValueError("n_devices must be >= 1")
+        shared = self.host_aggregate_b_s / n_devices
+        return min(self.link_bandwidth_b_s, shared) * self.small_transfer_efficiency
+
+    def transfer_seconds(
+        self, payload_bytes: float, n_devices: int, n_transfers: int = 1
+    ) -> float:
+        """Wall time to move ``payload_bytes`` in ``n_transfers`` memcpys."""
+        if payload_bytes < 0 or n_transfers < 0:
+            raise ValueError("payload and transfer count must be non-negative")
+        if n_transfers == 0:
+            return 0.0
+        bandwidth = self.effective_bandwidth(n_devices)
+        return payload_bytes / bandwidth + n_transfers * self.transfer_latency_s
+
+    def utilization(
+        self, payload_bytes: float, elapsed_seconds: float, n_devices: int
+    ) -> float:
+        """Achieved share of the link's peak bandwidth (Section 6.2's
+        under-utilization measure)."""
+        if elapsed_seconds <= 0:
+            return 0.0
+        achieved = payload_bytes / elapsed_seconds
+        return min(1.0, achieved / self.link_bandwidth_b_s)

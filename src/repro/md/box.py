@@ -1,0 +1,137 @@
+"""Orthogonal simulation box with periodic boundary conditions.
+
+The box is the spatial container of an MD experiment (Section 2 of the
+paper): every particle position lives inside it, and interactions across
+its faces obey the minimum-image convention when the corresponding
+dimension is periodic.  All five suite benchmarks use fully periodic
+boxes except Chute, whose z dimension is bounded by a wall (the paper's
+granular chute flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Box"]
+
+
+@dataclass
+class Box:
+    """An axis-aligned orthogonal simulation box.
+
+    Parameters
+    ----------
+    lengths:
+        Edge lengths ``(Lx, Ly, Lz)``.  Must all be positive.
+    periodic:
+        Per-dimension periodicity flags.  Non-periodic dimensions are
+        treated as fixed boundaries (used by the Chute benchmark, which
+        has a bottom wall).
+    origin:
+        Lower corner of the box.  Defaults to the coordinate origin.
+    """
+
+    lengths: np.ndarray
+    periodic: np.ndarray = field(default=None)  # type: ignore[assignment]
+    origin: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.lengths = np.asarray(self.lengths, dtype=float).reshape(3).copy()
+        if np.any(self.lengths <= 0.0):
+            raise ValueError(f"box lengths must be positive, got {self.lengths}")
+        if self.periodic is None:
+            self.periodic = np.ones(3, dtype=bool)
+        else:
+            self.periodic = np.asarray(self.periodic, dtype=bool).reshape(3).copy()
+        if self.origin is None:
+            self.origin = np.zeros(3, dtype=float)
+        else:
+            self.origin = np.asarray(self.origin, dtype=float).reshape(3).copy()
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def volume(self) -> float:
+        """Volume of the box."""
+        return float(np.prod(self.lengths))
+
+    @property
+    def upper(self) -> np.ndarray:
+        """Upper corner of the box (``origin + lengths``)."""
+        return self.origin + self.lengths
+
+    def copy(self) -> "Box":
+        return Box(self.lengths.copy(), self.periodic.copy(), self.origin.copy())
+
+    # ------------------------------------------------------------------
+    # Periodic wrapping
+    # ------------------------------------------------------------------
+    def wrap(self, positions: np.ndarray) -> np.ndarray:
+        """Return ``positions`` wrapped into the primary box image.
+
+        Only periodic dimensions are wrapped; non-periodic coordinates
+        pass through unchanged (boundary enforcement for those is the
+        job of wall fixes).
+        """
+        positions = np.asarray(positions, dtype=float)
+        rel = positions - self.origin
+        wrapped = rel - np.floor(rel / self.lengths) * self.lengths
+        out = np.where(self.periodic, wrapped, rel) + self.origin
+        return out
+
+    def wrap_with_images(
+        self, positions: np.ndarray, images: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Wrap ``positions`` and update per-atom image flags.
+
+        ``images`` counts how many box lengths each atom has travelled in
+        each dimension; LAMMPS keeps the same bookkeeping so unwrapped
+        trajectories (needed e.g. for diffusion) remain reconstructable.
+        """
+        positions = np.asarray(positions, dtype=float)
+        rel = positions - self.origin
+        shift = np.floor(rel / self.lengths).astype(np.int64)
+        shift = np.where(self.periodic, shift, 0)
+        wrapped = positions - shift * self.lengths
+        return wrapped, images + shift
+
+    # ------------------------------------------------------------------
+    # Minimum image
+    # ------------------------------------------------------------------
+    def minimum_image(self, dr: np.ndarray) -> np.ndarray:
+        """Apply the minimum-image convention to displacement vectors.
+
+        Parameters
+        ----------
+        dr:
+            Array of displacement vectors with trailing dimension 3.
+        """
+        dr = np.asarray(dr, dtype=float)
+        shift = np.round(dr / self.lengths)
+        shift = np.where(self.periodic, shift, 0.0)
+        return dr - shift * self.lengths
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Minimum-image distances between position arrays ``a`` and ``b``."""
+        dr = self.minimum_image(np.asarray(a) - np.asarray(b))
+        return np.sqrt(np.sum(dr * dr, axis=-1))
+
+    # ------------------------------------------------------------------
+    # Deformation (used by the NPT barostat)
+    # ------------------------------------------------------------------
+    def scale(self, factor: float | np.ndarray) -> None:
+        """Scale box lengths in place about the box origin.
+
+        ``factor`` may be a scalar (isotropic) or a length-3 array.
+        """
+        factor = np.asarray(factor, dtype=float)
+        if np.any(factor <= 0):
+            raise ValueError("box scale factor must be positive")
+        self.lengths = self.lengths * factor
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        per = "".join("p" if p else "f" for p in self.periodic)
+        return f"Box(lengths={self.lengths.tolist()}, periodic='{per}')"

@@ -1,0 +1,117 @@
+"""Analysis computes: RDF, mean-squared displacement, VACF.
+
+Figure 1's step VIII "computes system properties of interest" — beyond
+the instantaneous thermo quantities, MD studies track structural and
+dynamical observables.  These are the standard three:
+
+* :class:`RadialDistribution` — g(r), the pair correlation function
+  (distinguishes the LJ melt's liquid structure from the EAM crystal);
+* :class:`MeanSquaredDisplacement` — MSD(t) from unwrapped coordinates
+  (diffusive in a melt, bounded in a solid);
+* :class:`VelocityAutocorrelation` — normalized VACF(t).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.atoms import AtomSystem
+from repro.md.neighbor import brute_force_pairs
+
+__all__ = [
+    "RadialDistribution",
+    "MeanSquaredDisplacement",
+    "VelocityAutocorrelation",
+]
+
+
+class RadialDistribution:
+    """Accumulates the radial distribution function g(r).
+
+    Parameters
+    ----------
+    r_max:
+        Histogram range; must satisfy the minimum-image bound
+        (``r_max <= L/2``) for every sampled configuration.
+    n_bins:
+        Number of radial bins.
+    """
+
+    def __init__(self, r_max: float, n_bins: int = 100) -> None:
+        if r_max <= 0 or n_bins < 1:
+            raise ValueError("r_max must be positive and n_bins >= 1")
+        self.r_max = float(r_max)
+        self.n_bins = int(n_bins)
+        self._histogram = np.zeros(n_bins)
+        self._n_samples = 0
+        self._n_atoms = 0
+        self._density = 0.0
+
+    def sample(self, system: AtomSystem) -> None:
+        """Accumulate one configuration's pair distances."""
+        min_periodic = system.box.lengths[system.box.periodic]
+        if len(min_periodic) and self.r_max > 0.5 * float(np.min(min_periodic)):
+            raise ValueError("r_max exceeds the minimum-image bound")
+        i, j = brute_force_pairs(system.positions, system.box, self.r_max)
+        r = system.box.distance(system.positions[i], system.positions[j])
+        hist, _ = np.histogram(r, bins=self.n_bins, range=(0.0, self.r_max))
+        self._histogram += hist
+        self._n_samples += 1
+        self._n_atoms = system.n_atoms
+        self._density = system.density()
+
+    @property
+    def bin_centers(self) -> np.ndarray:
+        edges = np.linspace(0.0, self.r_max, self.n_bins + 1)
+        return 0.5 * (edges[:-1] + edges[1:])
+
+    def g_of_r(self) -> np.ndarray:
+        """The normalized g(r) (ideal-gas shells = 1)."""
+        if self._n_samples == 0:
+            raise RuntimeError("no configurations sampled")
+        edges = np.linspace(0.0, self.r_max, self.n_bins + 1)
+        shell_volumes = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+        # Each half pair represents two ordered pairs.
+        ideal = 0.5 * self._n_atoms * self._density * shell_volumes
+        return self._histogram / (self._n_samples * ideal)
+
+
+class MeanSquaredDisplacement:
+    """MSD(t) relative to the reference configuration at construction."""
+
+    def __init__(self, system: AtomSystem) -> None:
+        self._reference = system.unwrapped_positions().copy()
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def sample(self, system: AtomSystem, time: float) -> float:
+        displacement = system.unwrapped_positions() - self._reference
+        msd = float(np.mean(np.sum(displacement**2, axis=1)))
+        self.times.append(float(time))
+        self.values.append(msd)
+        return msd
+
+    def series(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.array(self.times), np.array(self.values)
+
+
+class VelocityAutocorrelation:
+    """Normalized velocity autocorrelation C(t) = <v(0).v(t)> / <v(0)^2>."""
+
+    def __init__(self, system: AtomSystem) -> None:
+        self._v0 = system.velocities.copy()
+        norm = float(np.mean(np.sum(self._v0**2, axis=1)))
+        if norm <= 0:
+            raise ValueError("reference velocities are all zero")
+        self._norm = norm
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def sample(self, system: AtomSystem, time: float) -> float:
+        c = float(np.mean(np.sum(self._v0 * system.velocities, axis=1))) / self._norm
+        self.times.append(float(time))
+        self.values.append(c)
+        return c
+
+    def series(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.array(self.times), np.array(self.values)

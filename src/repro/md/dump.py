@@ -1,0 +1,90 @@
+"""Trajectory dump writer (the "dump files" half of the Output task).
+
+Table 1's Output row covers "thermodynamic info and dump files"; this
+module provides an extended-XYZ trajectory writer compatible with
+common visualization tools (OVITO, VMD, ASE), plus a reader for
+round-trip tests.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.md.atoms import AtomSystem
+
+__all__ = ["XyzDumpWriter", "read_xyz_frames"]
+
+_ELEMENT_NAMES = ("A", "B", "C", "D", "E", "F", "G", "H")
+
+
+class XyzDumpWriter:
+    """Appends extended-XYZ frames to a trajectory file.
+
+    Parameters
+    ----------
+    path:
+        Output file; parent directories are created.
+    every:
+        Dump interval in timesteps (0 disables dumping).
+    """
+
+    def __init__(self, path: str | Path, every: int = 100) -> None:
+        if every < 0:
+            raise ValueError("every must be non-negative")
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.every = int(every)
+        self.frames_written = 0
+        # Truncate any previous trajectory.
+        self.path.write_text("")
+
+    def should_dump(self, step: int) -> bool:
+        return self.every > 0 and step % self.every == 0
+
+    def write_frame(self, system: AtomSystem, step: int) -> None:
+        """Append one frame (positions in the primary image)."""
+        lengths = system.box.lengths
+        lattice = (
+            f"{lengths[0]} 0.0 0.0 0.0 {lengths[1]} 0.0 0.0 0.0 {lengths[2]}"
+        )
+        lines = [str(system.n_atoms)]
+        lines.append(
+            f'Lattice="{lattice}" Properties=species:S:1:pos:R:3 step={step}'
+        )
+        for atom_type, position in zip(system.types, system.positions):
+            name = _ELEMENT_NAMES[int(atom_type) % len(_ELEMENT_NAMES)]
+            lines.append(
+                f"{name} {position[0]:.8f} {position[1]:.8f} {position[2]:.8f}"
+            )
+        with self.path.open("a") as handle:
+            handle.write("\n".join(lines) + "\n")
+        self.frames_written += 1
+
+
+def read_xyz_frames(path: str | Path) -> list[tuple[int, np.ndarray]]:
+    """Parse a trajectory written by :class:`XyzDumpWriter`.
+
+    Returns ``(step, positions)`` per frame.
+    """
+    frames: list[tuple[int, np.ndarray]] = []
+    lines = Path(path).read_text().splitlines()
+    cursor = 0
+    while cursor < len(lines):
+        if not lines[cursor].strip():
+            cursor += 1
+            continue
+        n_atoms = int(lines[cursor])
+        comment = lines[cursor + 1]
+        step = 0
+        for token in comment.split():
+            if token.startswith("step="):
+                step = int(token.split("=", 1)[1])
+        body = lines[cursor + 2 : cursor + 2 + n_atoms]
+        positions = np.array(
+            [[float(x) for x in line.split()[1:4]] for line in body]
+        )
+        frames.append((step, positions))
+        cursor += 2 + n_atoms
+    return frames

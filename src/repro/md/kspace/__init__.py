@@ -1,0 +1,31 @@
+"""Long-range electrostatics solvers (Table 1's "Kspace" task).
+
+Only the Rhodopsin benchmark computes long-range non-bonded forces; it
+uses PPPM with a relative force-error threshold of ``1e-4`` (Table 2),
+which Section 7 of the paper then sweeps down to ``1e-7``.
+
+* :mod:`repro.md.kspace.ewald` — classic Ewald summation (O(N^(3/2)));
+* :mod:`repro.md.kspace.pppm` — particle-particle particle-mesh with
+  B-spline charge assignment and a 3-D FFT (O(N log N));
+* :mod:`repro.md.kspace.error` — the LAMMPS accuracy machinery that maps
+  a relative error threshold to the Ewald splitting parameter and the
+  PPPM grid size (the knob behind Figures 10-14).
+"""
+
+from repro.md.kspace.error import (
+    estimate_alpha,
+    estimate_kspace_error,
+    estimate_real_space_error,
+    select_grid,
+)
+from repro.md.kspace.ewald import EwaldSummation
+from repro.md.kspace.pppm import PPPM
+
+__all__ = [
+    "EwaldSummation",
+    "PPPM",
+    "estimate_alpha",
+    "estimate_real_space_error",
+    "estimate_kspace_error",
+    "select_grid",
+]

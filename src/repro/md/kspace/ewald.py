@@ -1,0 +1,139 @@
+"""Classic Ewald summation (``kspace_style ewald``).
+
+The reciprocal-space half of the Ewald split::
+
+    E = (2 pi C / V) sum_{k != 0} exp(-k^2 / 4 alpha^2) / k^2 |S(k)|^2
+    S(k) = sum_j q_j exp(i k . r_j)
+
+plus the self-energy and excluded-pair corrections from the base class.
+This is the exact (spectrally converged) reference the PPPM mesh solver
+is validated against, and the O(N^(3/2)) alternative the paper mentions
+alongside PPPM in Section 2.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.md.atoms import AtomSystem
+from repro.md.kspace.base import KSpaceSolver
+from repro.md.potentials.base import ForceResult
+
+__all__ = ["EwaldSummation"]
+
+
+class EwaldSummation(KSpaceSolver):
+    """Reciprocal-space Ewald sum over an explicit k-vector shell.
+
+    Parameters
+    ----------
+    alpha:
+        Splitting parameter shared with the real-space pair potential.
+    accuracy:
+        Relative accuracy used to bound the k-shell: vectors with
+        ``exp(-k^2/4 alpha^2) < accuracy^2`` are dropped.
+    kmax:
+        Optional hard cap of integer k-indices per dimension (mostly for
+        tests); derived from ``accuracy`` when omitted.
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        coulomb_constant: float = 1.0,
+        *,
+        accuracy: float = 1e-6,
+        kmax: int | None = None,
+        exclusions: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(alpha, coulomb_constant, exclusions)
+        if not 0 < accuracy < 1:
+            raise ValueError("accuracy must be in (0, 1)")
+        self.accuracy = float(accuracy)
+        self.kmax = kmax
+        self._kvecs: np.ndarray | None = None
+        self._box_lengths: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _setup_kvectors(self, box_lengths: np.ndarray) -> None:
+        """Enumerate the half-space of k-vectors inside the cutoff shell."""
+        # Gaussian factor negligible beyond k_cut = 2 alpha sqrt(-ln acc).
+        k_cut = 2.0 * self.alpha * math.sqrt(-math.log(self.accuracy))
+        two_pi = 2.0 * math.pi
+        if self.kmax is not None:
+            maxes = np.array([self.kmax] * 3)
+        else:
+            maxes = np.ceil(k_cut * box_lengths / two_pi).astype(int)
+        maxes = np.maximum(maxes, 1)
+        nx = np.arange(-maxes[0], maxes[0] + 1)
+        ny = np.arange(-maxes[1], maxes[1] + 1)
+        nz = np.arange(-maxes[2], maxes[2] + 1)
+        grid = np.array(np.meshgrid(nx, ny, nz, indexing="ij")).reshape(3, -1).T
+        # Half space: keep one of each {k, -k} pair, drop k = 0.
+        keep = (
+            (grid[:, 0] > 0)
+            | ((grid[:, 0] == 0) & (grid[:, 1] > 0))
+            | ((grid[:, 0] == 0) & (grid[:, 1] == 0) & (grid[:, 2] > 0))
+        )
+        grid = grid[keep]
+        kvecs = two_pi * grid / box_lengths
+        k2 = np.einsum("ij,ij->i", kvecs, kvecs)
+        if self.kmax is None:
+            kvecs = kvecs[k2 <= k_cut * k_cut]
+        self._kvecs = kvecs
+        self._box_lengths = box_lengths.copy()
+
+    @property
+    def n_kvectors(self) -> int:
+        """Number of k-vectors in the active half-space shell."""
+        return 0 if self._kvecs is None else len(self._kvecs)
+
+    # ------------------------------------------------------------------
+    def compute(self, system: AtomSystem) -> ForceResult:
+        self.check_neutrality(system)
+        box_lengths = system.box.lengths
+        if self._kvecs is None or not np.allclose(self._box_lengths, box_lengths):
+            self._setup_kvectors(box_lengths)
+        kvecs = self._kvecs
+        assert kvecs is not None
+        if len(kvecs) == 0:
+            return ForceResult(self.self_energy(system), 0.0, 0)
+
+        volume = system.box.volume
+        k2 = np.einsum("ij,ij->i", kvecs, kvecs)
+        gauss = np.exp(-k2 / (4.0 * self.alpha**2)) / k2
+
+        phases = system.positions @ kvecs.T  # (N, K)
+        cos_p = np.cos(phases)
+        sin_p = np.sin(phases)
+        q = system.charges
+        re_s = q @ cos_p  # (K,)
+        im_s = q @ sin_p
+
+        prefactor = 4.0 * math.pi * self.coulomb_constant / volume
+        # Half-space sum: each k stands for the +/- pair, hence factor 2.
+        energy = float(np.sum(gauss * (re_s**2 + im_s**2))) * prefactor / 2.0 * 2.0
+
+        # F_j = 2 * prefactor * q_j sum_k (k/k^2) e^{-k^2/4a^2}
+        #       [sin(k.r_j) Re S - cos(k.r_j) Im S]
+        weight = (sin_p * re_s[None, :] - cos_p * im_s[None, :]) * gauss[None, :]
+        forces = 2.0 * prefactor * q[:, None] * (weight @ kvecs)
+        system.forces += forces
+
+        # Reciprocal-space virial for an isotropic system: the textbook
+        # trace formula sum_k (3 - k^2/(2 alpha^2) - 3 k^2/k^2 ...) reduces
+        # to E_k terms; we use W = sum_j r_j . f_j form instead, which is
+        # correct for the periodic sum only up to a constant — the
+        # isotropic Ewald virial trace:
+        trace = gauss * (re_s**2 + im_s**2) * (
+            3.0 - k2 * (2.0 / (4.0 * self.alpha**2) + 2.0 / k2)
+        )
+        virial = float(np.sum(trace)) * prefactor / 3.0 * 3.0  # sum of diagonal
+        # (kept simple: an isotropic estimate; see tests for validation
+        # against the energy-volume derivative.)
+
+        result = ForceResult(energy + self.self_energy(system), virial, len(kvecs))
+        result += self.excluded_pair_correction(system)
+        return result

@@ -1,0 +1,103 @@
+"""Energy minimization: steepest descent with adaptive step control.
+
+The standard pre-equilibration tool (LAMMPS ``minimize``): relaxes a
+configuration toward a local potential-energy minimum before dynamics,
+removing builder artifacts that would otherwise blow up the integrator.
+Backtracking on energy increases makes it robust for the steep LJ/EAM
+cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.md.simulation import Simulation
+
+__all__ = ["MinimizationResult", "minimize"]
+
+
+@dataclass(frozen=True)
+class MinimizationResult:
+    """Outcome of a minimization run."""
+
+    initial_energy: float
+    final_energy: float
+    max_force: float
+    iterations: int
+    converged: bool
+
+
+def minimize(
+    simulation: Simulation,
+    *,
+    force_tolerance: float = 1e-4,
+    max_iterations: int = 500,
+    initial_step: float = 0.01,
+    max_displacement: float = 0.1,
+) -> MinimizationResult:
+    """Steepest-descent relaxation of ``simulation``'s configuration.
+
+    Moves along the force direction with an adaptive step: growth on
+    success, backtracking (and move rejection) when the energy rises.
+    Velocities are untouched; the neighbor list is maintained through
+    the simulation's own machinery.
+
+    Parameters
+    ----------
+    force_tolerance:
+        Converged when the largest per-atom force magnitude drops below
+        this value.
+    max_displacement:
+        Per-coordinate trust radius of one step.
+    """
+    if force_tolerance <= 0 or max_iterations < 1:
+        raise ValueError("force_tolerance > 0 and max_iterations >= 1 required")
+    system = simulation.system
+    if not simulation._setup_done:  # noqa: SLF001 - reuse the force pipeline
+        simulation.setup()
+
+    step = float(initial_step)
+    energy = simulation.potential_energy
+    initial_energy = energy
+    iterations = 0
+    converged = False
+
+    for iterations in range(1, max_iterations + 1):
+        forces = system.forces
+        max_force = float(np.max(np.abs(forces))) if system.n_atoms else 0.0
+        if max_force < force_tolerance:
+            converged = True
+            iterations -= 1
+            break
+
+        # Trust-radius-limited steepest-descent move.
+        move = step * forces
+        np.clip(move, -max_displacement, max_displacement, out=move)
+        previous_positions = system.positions.copy()
+        system.positions = system.positions + move
+        system.wrap()
+        simulation.neighbor.ensure(system)
+        simulation._compute_forces(count=False)  # noqa: SLF001
+
+        if simulation.potential_energy < energy:
+            energy = simulation.potential_energy
+            step = min(step * 1.2, 1.0)
+        else:
+            # Reject and backtrack.
+            system.positions = previous_positions
+            simulation.neighbor.ensure(system)
+            simulation._compute_forces(count=False)  # noqa: SLF001
+            step *= 0.5
+            if step < 1e-12:
+                break
+
+    max_force = float(np.max(np.abs(system.forces)))
+    return MinimizationResult(
+        initial_energy=initial_energy,
+        final_energy=simulation.potential_energy,
+        max_force=max_force,
+        iterations=iterations,
+        converged=converged or max_force < force_tolerance,
+    )

@@ -1,0 +1,317 @@
+"""Neighbor lists with a skin distance, built via cell (link-cell) lists.
+
+This implements the cutoff optimization described in Section 2 of the
+paper: for each particle we keep all partners within ``cutoff + skin``
+so that the (O(N)-per-rebuild) list construction only has to run when
+some particle has moved more than half the skin since the last build.
+A larger skin means more candidate pairs to re-check each timestep but
+fewer rebuilds — exactly the trade-off the paper's Table 2 captures in
+its per-benchmark "Neighbor skin" row.
+
+Two list flavours are supported, mirroring LAMMPS' ``newton`` setting:
+
+* *half* lists store each pair once (Newton's third law shares the
+  computed force between both partners) — used by Rhodopsin, LJ, Chain
+  and EAM;
+* *full* lists store both ``(i, j)`` and ``(j, i)`` — used by Chute,
+  which (per Section 3) does not exploit Newton's third law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.md.atoms import AtomSystem
+from repro.md.box import Box
+
+__all__ = ["NeighborList", "NeighborStats", "brute_force_pairs"]
+
+# Below this atom count a vectorized O(N^2) build is faster than cell
+# binning in numpy and trivially correct; above it we bin.
+_BRUTE_FORCE_MAX_ATOMS = 800
+
+
+def _encode_pairs(i: np.ndarray, j: np.ndarray, n: int) -> np.ndarray:
+    """Map unordered index pairs to unique scalar keys for set algebra."""
+    lo = np.minimum(i, j).astype(np.int64)
+    hi = np.maximum(i, j).astype(np.int64)
+    return lo * np.int64(n) + hi
+
+
+def brute_force_pairs(
+    positions: np.ndarray, box: Box, cutoff: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """All half pairs within ``cutoff`` by direct O(N^2) search.
+
+    Reference implementation used both as the small-system fast path and
+    as the oracle the cell-list build is tested against.
+    """
+    n = len(positions)
+    iu, ju = np.triu_indices(n, k=1)
+    dr = box.minimum_image(positions[iu] - positions[ju])
+    r2 = np.einsum("ij,ij->i", dr, dr)
+    mask = r2 < cutoff * cutoff
+    return iu[mask], ju[mask]
+
+
+@dataclass
+class NeighborStats:
+    """Bookkeeping counters the performance model consumes."""
+
+    n_builds: int = 0
+    n_checks: int = 0
+    last_pairs: int = 0
+    last_neighbors_per_atom: float = 0.0
+    steps_since_build: int = 0
+    total_steps: int = 0
+
+    @property
+    def rebuild_every(self) -> float:
+        """Average number of timesteps between rebuilds."""
+        if self.n_builds == 0:
+            return float("inf")
+        return self.total_steps / self.n_builds
+
+
+class NeighborList:
+    """Verlet neighbor list with skin, backed by a cell list.
+
+    Parameters
+    ----------
+    cutoff:
+        Interaction cutoff distance.
+    skin:
+        Extra shell stored beyond the cutoff (LAMMPS ``neighbor`` skin).
+    full:
+        Store both directions of every pair (``newton off`` semantics).
+    exclusions:
+        Optional ``(M, 2)`` array of atom-index pairs to exclude (bonded
+        1-2 / 1-3 partners whose non-bonded interaction is masked, as
+        LAMMPS ``special_bonds`` does).
+    """
+
+    def __init__(
+        self,
+        cutoff: float,
+        skin: float,
+        *,
+        full: bool = False,
+        exclusions: np.ndarray | None = None,
+    ) -> None:
+        if cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        if skin < 0:
+            raise ValueError("skin must be non-negative")
+        self.cutoff = float(cutoff)
+        self.skin = float(skin)
+        self.full = bool(full)
+        self.stats = NeighborStats()
+        self._positions_at_build: np.ndarray | None = None
+        self._box_lengths_at_build: np.ndarray | None = None
+        self.pair_i = np.empty(0, dtype=np.int64)
+        self.pair_j = np.empty(0, dtype=np.int64)
+        self._excluded_keys: np.ndarray | None = None
+        self._exclusions = (
+            None
+            if exclusions is None or len(exclusions) == 0
+            else np.asarray(exclusions, dtype=np.int64).reshape(-1, 2)
+        )
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    @property
+    def list_cutoff(self) -> float:
+        """The stored-pair cutoff, ``cutoff + skin``."""
+        return self.cutoff + self.skin
+
+    def build(self, system: AtomSystem) -> None:
+        """(Re)construct the pair list for the current configuration."""
+        box = system.box
+        positions = box.wrap(system.positions)
+        n = system.n_atoms
+        rc = self.list_cutoff
+        # Minimum-image pair search is only valid when the box is at
+        # least two cutoffs wide in every periodic dimension.
+        min_periodic = box.lengths[box.periodic]
+        if len(min_periodic) and rc > 0.5 * float(np.min(min_periodic)):
+            raise ValueError(
+                f"cutoff+skin {rc:g} exceeds half the smallest periodic box "
+                f"length {float(np.min(min_periodic)):g}; enlarge the system "
+                "or shrink the cutoff"
+            )
+
+        if n <= _BRUTE_FORCE_MAX_ATOMS or not self._can_bin(box, rc):
+            i, j = brute_force_pairs(positions, box, rc)
+        else:
+            i, j = self._cell_list_pairs(positions, box, rc)
+
+        if self._exclusions is not None:
+            if self._excluded_keys is None or len(self._excluded_keys) == 0:
+                self._excluded_keys = np.unique(
+                    _encode_pairs(self._exclusions[:, 0], self._exclusions[:, 1], n)
+                )
+            keys = _encode_pairs(i, j, n)
+            keep = ~np.isin(keys, self._excluded_keys)
+            i, j = i[keep], j[keep]
+
+        if self.full:
+            self.pair_i = np.concatenate([i, j])
+            self.pair_j = np.concatenate([j, i])
+        else:
+            self.pair_i = i
+            self.pair_j = j
+
+        self._positions_at_build = positions.copy()
+        self._box_lengths_at_build = box.lengths.copy()
+        self.stats.n_builds += 1
+        self.stats.steps_since_build = 0
+        self.stats.last_pairs = len(self.pair_i)
+        # Neighbors/atom counted within the *cutoff* (Table 2 convention),
+        # not within cutoff + skin.
+        dr = box.minimum_image(positions[i] - positions[j])
+        r2 = np.einsum("ij,ij->i", dr, dr)
+        within = int(np.count_nonzero(r2 < self.cutoff * self.cutoff))
+        self.stats.last_neighbors_per_atom = 2.0 * within / n
+
+    @staticmethod
+    def _can_bin(box: Box, rc: float) -> bool:
+        """Cell binning needs at least three cells along each periodic dim."""
+        n_cells = np.floor(box.lengths / rc).astype(int)
+        return bool(np.all(np.where(box.periodic, n_cells >= 3, n_cells >= 1)))
+
+    def _cell_list_pairs(
+        self, positions: np.ndarray, box: Box, rc: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Half pair list via link-cell binning (O(N) for fixed density)."""
+        n = len(positions)
+        n_cells = np.maximum(np.floor(box.lengths / rc).astype(int), 1)
+        cell_size = box.lengths / n_cells
+
+        coords = np.floor((positions - box.origin) / cell_size).astype(np.int64)
+        coords = np.minimum(coords, n_cells - 1)
+        coords = np.maximum(coords, 0)
+        strides = np.array(
+            [n_cells[1] * n_cells[2], n_cells[2], 1], dtype=np.int64
+        )
+        flat = coords @ strides
+
+        order = np.argsort(flat, kind="stable")
+        sorted_flat = flat[order]
+        total_cells = int(np.prod(n_cells))
+        starts = np.searchsorted(sorted_flat, np.arange(total_cells))
+        ends = np.searchsorted(sorted_flat, np.arange(total_cells), side="right")
+
+        # Half-stencil: self cell plus 13 "forward" neighbor offsets.
+        offsets = []
+        for dx in (0, 1):
+            for dy in (-1, 0, 1):
+                for dz in (-1, 0, 1):
+                    if (dx, dy, dz) == (0, 0, 0):
+                        continue
+                    if dx == 0 and (dy < 0 or (dy == 0 and dz < 0)):
+                        continue
+                    offsets.append((dx, dy, dz))
+
+        pair_i_blocks: list[np.ndarray] = []
+        pair_j_blocks: list[np.ndarray] = []
+
+        occupied = np.unique(sorted_flat)
+        occ_coords = np.empty((len(occupied), 3), dtype=np.int64)
+        occ_coords[:, 0] = occupied // strides[0]
+        occ_coords[:, 1] = (occupied // strides[1]) % n_cells[1]
+        occ_coords[:, 2] = occupied % n_cells[2]
+
+        for cell_flat, cell_coord in zip(occupied, occ_coords):
+            members = order[starts[cell_flat] : ends[cell_flat]]
+            m = len(members)
+            # Intra-cell pairs.
+            if m > 1:
+                iu, ju = np.triu_indices(m, k=1)
+                pair_i_blocks.append(members[iu])
+                pair_j_blocks.append(members[ju])
+            # Inter-cell pairs against each forward neighbor cell.
+            for off in offsets:
+                nb = cell_coord + off
+                wrapped_ok = True
+                for d in range(3):
+                    if box.periodic[d]:
+                        nb[d] %= n_cells[d]
+                    elif nb[d] < 0 or nb[d] >= n_cells[d]:
+                        wrapped_ok = False
+                        break
+                if not wrapped_ok:
+                    continue
+                nb_flat = nb @ strides
+                others = order[starts[nb_flat] : ends[nb_flat]]
+                if len(others) == 0 or nb_flat == cell_flat:
+                    continue
+                grid_i = np.repeat(members, len(others))
+                grid_j = np.tile(others, m)
+                pair_i_blocks.append(grid_i)
+                pair_j_blocks.append(grid_j)
+
+        if not pair_i_blocks:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+        cand_i = np.concatenate(pair_i_blocks)
+        cand_j = np.concatenate(pair_j_blocks)
+        # With fewer than 3 cells in a periodic dimension the same pair can
+        # appear from two offsets; _can_bin guards against that, so every
+        # candidate is unique and only the distance filter remains.
+        dr = box.minimum_image(positions[cand_i] - positions[cand_j])
+        r2 = np.einsum("ij,ij->i", dr, dr)
+        mask = r2 < rc * rc
+        return cand_i[mask], cand_j[mask]
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def needs_rebuild(self, system: AtomSystem) -> bool:
+        """True if some atom moved more than half the skin since build."""
+        self.stats.n_checks += 1
+        if self._positions_at_build is None:
+            return True
+        if len(self._positions_at_build) != system.n_atoms:
+            return True
+        if not np.allclose(self._box_lengths_at_build, system.box.lengths):
+            return True
+        disp = system.box.minimum_image(
+            system.box.wrap(system.positions) - self._positions_at_build
+        )
+        max_sq = float(np.max(np.einsum("ij,ij->i", disp, disp)))
+        return max_sq > (0.5 * self.skin) ** 2
+
+    def ensure(self, system: AtomSystem) -> bool:
+        """Rebuild if stale; returns whether a rebuild happened."""
+        self.stats.total_steps += 1
+        self.stats.steps_since_build += 1
+        if self.needs_rebuild(system):
+            self.build(system)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def current_pairs(
+        self, system: AtomSystem, cutoff: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Pairs currently within ``cutoff`` with fresh geometry.
+
+        Returns ``(i, j, dr, r)`` where ``dr = x_i - x_j`` under minimum
+        image and ``r`` its norm.  ``cutoff`` defaults to the list cutoff
+        (without skin), which is what force kernels want.
+        """
+        if self._positions_at_build is None:
+            raise RuntimeError("neighbor list has never been built")
+        rc = self.cutoff if cutoff is None else float(cutoff)
+        dr = system.box.minimum_image(
+            system.positions[self.pair_i] - system.positions[self.pair_j]
+        )
+        r2 = np.einsum("ij,ij->i", dr, dr)
+        mask = r2 < rc * rc
+        i, j, dr = self.pair_i[mask], self.pair_j[mask], dr[mask]
+        return i, j, dr, np.sqrt(r2[mask])

@@ -1,0 +1,120 @@
+"""Common interface for pairwise and many-body potentials.
+
+A potential consumes the current :class:`~repro.md.neighbor.NeighborList`
+and accumulates forces into ``system.forces``, returning the potential
+energy and the pair virial (needed by the pressure compute and hence by
+the NPT barostat that Rhodopsin uses).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.md.atoms import AtomSystem
+from repro.md.neighbor import NeighborList
+
+__all__ = ["ForceResult", "PairPotential", "accumulate_pair_forces"]
+
+
+@dataclass
+class ForceResult:
+    """Outcome of one force evaluation.
+
+    ``virial`` is the scalar pair virial ``sum_ij r_ij . f_ij`` with each
+    pair counted once; the pressure compute divides it by ``3 V``.
+    ``interactions`` counts evaluated pairs — the quantity the paper's
+    complexity analysis calls ``N * npa_avg`` and that our performance
+    model uses as the Pair-task work measure.
+    """
+
+    energy: float = 0.0
+    virial: float = 0.0
+    interactions: int = 0
+
+    def __iadd__(self, other: "ForceResult") -> "ForceResult":
+        self.energy += other.energy
+        self.virial += other.virial
+        self.interactions += other.interactions
+        return self
+
+
+def accumulate_pair_forces(
+    system: AtomSystem,
+    i: np.ndarray,
+    j: np.ndarray,
+    dr: np.ndarray,
+    f_over_r: np.ndarray,
+) -> None:
+    """Scatter-add pair forces for a half list.
+
+    ``f_over_r`` is the magnitude of the pair force divided by the
+    distance (so that ``f_vec = f_over_r * dr``); positive values are
+    repulsive for ``dr = x_i - x_j``.
+    """
+    fvec = f_over_r[:, None] * dr
+    np.add.at(system.forces, i, fvec)
+    np.subtract.at(system.forces, j, fvec)
+
+
+class PairPotential(abc.ABC):
+    """Base class for potentials evaluated over a neighbor list."""
+
+    #: Interaction cutoff; the neighbor list must be built with at least
+    #: this cutoff.
+    cutoff: float
+
+    #: True when the potential needs both pair directions (``newton off``)
+    #: — only the granular history potential does.
+    needs_full_list: bool = False
+
+    @abc.abstractmethod
+    def compute(self, system: AtomSystem, neighbors: NeighborList) -> ForceResult:
+        """Accumulate forces into ``system.forces`` and return totals."""
+
+    def energy_only(self, system: AtomSystem, neighbors: NeighborList) -> float:
+        """Potential energy of the current configuration (forces restored)."""
+        saved = system.forces.copy()
+        system.forces[:] = 0.0
+        result = self.compute(system, neighbors)
+        system.forces[:] = saved
+        return result.energy
+
+
+class AnalyticPairPotential(PairPotential):
+    """Convenience base for purely pairwise potentials.
+
+    Subclasses implement :meth:`pair_terms`, returning per-pair energy
+    and ``f_over_r``; accumulation, virial and bookkeeping live here.
+    """
+
+    @abc.abstractmethod
+    def pair_terms(
+        self,
+        r: np.ndarray,
+        r2: np.ndarray,
+        type_i: np.ndarray,
+        type_j: np.ndarray,
+        q_i: np.ndarray,
+        q_j: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return per-pair ``(energy, f_over_r)`` arrays."""
+
+    def compute(self, system: AtomSystem, neighbors: NeighborList) -> ForceResult:
+        i, j, dr, r = neighbors.current_pairs(system, self.cutoff)
+        if len(i) == 0:
+            return ForceResult()
+        r2 = r * r
+        energy, f_over_r = self.pair_terms(
+            r,
+            r2,
+            system.types[i],
+            system.types[j],
+            system.charges[i],
+            system.charges[j],
+        )
+        accumulate_pair_forces(system, i, j, dr, f_over_r)
+        virial = float(np.sum(f_over_r * r2))
+        return ForceResult(float(np.sum(energy)), virial, len(i))

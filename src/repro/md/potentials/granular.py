@@ -1,0 +1,169 @@
+"""Hookean granular contact with frictional history (``gran/hooke/history``).
+
+The Chute benchmark simulates a chute flow of packed granular particles
+with a Hookean-style contact law (Brilliantov et al., 1996).  The
+*history* variant tracks the accumulated tangential displacement of each
+contact for as long as the two particles touch; that per-contact state
+is exactly what makes this pair style irregular compared to the
+stateless analytic potentials, and (per Section 3 of the paper) it does
+not exploit Newton's third law to halve the pair work — which is why
+:attr:`HookeHistory.needs_full_list` is true and the Pair-task work
+measure counts both directions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.atoms import AtomSystem
+from repro.md.neighbor import NeighborList
+from repro.md.potentials.base import ForceResult, PairPotential
+
+__all__ = ["HookeHistory", "ContactHistory"]
+
+
+class ContactHistory:
+    """Tangential-displacement store keyed by unordered contact pairs.
+
+    Histories survive neighbor-list rebuilds: :meth:`sync` re-aligns the
+    stored vectors with a new pair ordering and drops contacts that have
+    separated beyond the list cutoff.
+    """
+
+    def __init__(self) -> None:
+        self._keys = np.empty(0, dtype=np.int64)
+        self._values = np.empty((0, 3), dtype=float)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def sync(self, keys: np.ndarray) -> np.ndarray:
+        """Return histories aligned with ``keys`` (new contacts start at 0)."""
+        values = np.zeros((len(keys), 3), dtype=float)
+        if len(self._keys):
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+            pos = np.searchsorted(sorted_keys, self._keys)
+            pos = np.minimum(pos, len(keys) - 1) if len(keys) else pos
+            if len(keys):
+                hit = sorted_keys[pos] == self._keys
+                values[order[pos[hit]]] = self._values[hit]
+        self._keys = keys
+        self._values = values
+        return self._values
+
+    def store(self, values: np.ndarray) -> None:
+        self._values = values
+
+
+class HookeHistory(PairPotential):
+    """Damped Hookean normal contact + history-tracked tangential friction.
+
+    Parameters follow LAMMPS ``pair_style gran/hooke/history``:
+
+    * normal spring ``k_n`` and damping ``gamma_n``,
+    * tangential spring ``k_t`` and damping ``gamma_t``,
+    * Coulomb friction coefficient ``mu`` capping the tangential force,
+    * the integrator timestep ``dt`` used to accumulate the tangential
+      displacement history.
+    """
+
+    needs_full_list = True
+
+    def __init__(
+        self,
+        k_n: float = 200000.0,
+        k_t: float | None = None,
+        gamma_n: float = 50.0,
+        gamma_t: float | None = None,
+        mu: float = 0.5,
+        *,
+        dt: float = 1e-4,
+        max_radius: float = 0.5,
+    ) -> None:
+        self.k_n = float(k_n)
+        self.k_t = float(k_t) if k_t is not None else 2.0 / 7.0 * self.k_n
+        self.gamma_n = float(gamma_n)
+        self.gamma_t = float(gamma_t) if gamma_t is not None else 0.5 * self.gamma_n
+        self.mu = float(mu)
+        self.dt = float(dt)
+        # Contact happens at r < R_i + R_j; the neighbor list is built on
+        # centre distance, so the "cutoff" is twice the largest radius.
+        self.cutoff = 2.0 * float(max_radius)
+        self.history = ContactHistory()
+
+    def compute(self, system: AtomSystem, neighbors: NeighborList) -> ForceResult:
+        if system.radii is None:
+            raise ValueError("HookeHistory needs a granular system (radii set)")
+        i_all, j_all, dr_all, r_all = neighbors.current_pairs(system, self.cutoff)
+        interactions = len(i_all)
+        # Physics is evaluated once per unordered pair; the full list the
+        # simulation keeps (newton off) is reflected in `interactions`.
+        half = i_all < j_all
+        i, j, dr, r = i_all[half], j_all[half], dr_all[half], r_all[half]
+
+        radii = system.radii
+        sum_r = radii[i] + radii[j]
+        touching = r < sum_r
+        i, j, dr, r = i[touching], j[touching], dr[touching], r[touching]
+        keys = i * np.int64(system.n_atoms) + j
+        xi = self.history.sync(keys)
+        if len(i) == 0:
+            return ForceResult(0.0, 0.0, interactions)
+
+        n_hat = dr / r[:, None]
+        delta = (radii[i] + radii[j]) - r
+        m_eff = system.masses[i] * system.masses[j] / (
+            system.masses[i] + system.masses[j]
+        )
+
+        # Relative velocity at the contact point (translational + spin).
+        v_rel = system.velocities[i] - system.velocities[j]
+        if system.omega is not None:
+            spin = radii[i][:, None] * system.omega[i] + radii[j][:, None] * system.omega[j]
+            v_rel = v_rel - np.cross(spin, n_hat)
+        v_n = np.einsum("ij,ij->i", v_rel, n_hat)
+        v_n_vec = v_n[:, None] * n_hat
+        v_t_vec = v_rel - v_n_vec
+
+        # Normal force: Hookean spring + velocity damping.
+        f_n_mag = self.k_n * delta - self.gamma_n * m_eff * v_n
+        f_n_vec = f_n_mag[:, None] * n_hat
+
+        # Tangential: integrate history, project it into the current
+        # tangent plane, spring + damping, Coulomb cap.
+        xi = xi + v_t_vec * self.dt
+        xi = xi - np.einsum("ij,ij->i", xi, n_hat)[:, None] * n_hat
+        f_t_vec = -self.k_t * xi - self.gamma_t * m_eff[:, None] * v_t_vec
+        f_t_mag = np.linalg.norm(f_t_vec, axis=1)
+        cap = self.mu * np.abs(f_n_mag)
+        over = f_t_mag > np.maximum(cap, 1e-300)
+        if np.any(over):
+            scale = np.where(over, cap / np.maximum(f_t_mag, 1e-300), 1.0)
+            f_t_vec = f_t_vec * scale[:, None]
+            # Rescale the stored history so the spring is consistent with
+            # the capped force (LAMMPS does the same truncation).
+            xi = np.where(over[:, None], -f_t_vec / self.k_t, xi)
+        self.history.store(xi)
+
+        f_total = f_n_vec + f_t_vec
+        np.add.at(system.forces, i, f_total)
+        np.subtract.at(system.forces, j, f_total)
+
+        # Contact torques from the tangential force.
+        if system.torques is not None:
+            torque = np.cross(n_hat, f_t_vec)
+            np.add.at(system.torques, i, -radii[i][:, None] * torque)
+            np.add.at(system.torques, j, -radii[j][:, None] * torque)
+
+        # Elastic contact energy (normal spring only; damping and sliding
+        # friction are dissipative, so total energy is *not* conserved —
+        # the Chute tests assert dissipation instead).
+        energy = float(np.sum(0.5 * self.k_n * delta * delta))
+        virial = float(np.sum(np.einsum("ij,ij->i", dr, f_total)))
+        return ForceResult(energy, virial, interactions)
+
+    @property
+    def active_contacts(self) -> int:
+        """Number of currently touching pairs with stored history."""
+        return len(self.history)

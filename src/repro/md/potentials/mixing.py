@@ -1,0 +1,66 @@
+"""LAMMPS ``pair_modify mix`` rules for cross-type LJ coefficients.
+
+Table 2 notes that Rhodopsin uses ``mix arithmetic``; the other styles
+(``geometric`` and ``sixthpower``) are provided for completeness, exactly
+as the LAMMPS ``pair_modify`` documentation defines them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MIX_STYLES", "mix_epsilon", "mix_sigma", "build_mixed_tables"]
+
+MIX_STYLES = ("arithmetic", "geometric", "sixthpower")
+
+
+def mix_sigma(sigma_i: np.ndarray, sigma_j: np.ndarray, style: str) -> np.ndarray:
+    """Combine same-type sigmas into a cross-type sigma."""
+    sigma_i = np.asarray(sigma_i, dtype=float)
+    sigma_j = np.asarray(sigma_j, dtype=float)
+    if style == "arithmetic":
+        return 0.5 * (sigma_i + sigma_j)
+    if style == "geometric":
+        return np.sqrt(sigma_i * sigma_j)
+    if style == "sixthpower":
+        return (0.5 * (sigma_i**6 + sigma_j**6)) ** (1.0 / 6.0)
+    raise ValueError(f"unknown mix style {style!r}; expected one of {MIX_STYLES}")
+
+
+def mix_epsilon(
+    eps_i: np.ndarray,
+    eps_j: np.ndarray,
+    sigma_i: np.ndarray | None = None,
+    sigma_j: np.ndarray | None = None,
+    style: str = "arithmetic",
+) -> np.ndarray:
+    """Combine same-type epsilons into a cross-type epsilon."""
+    eps_i = np.asarray(eps_i, dtype=float)
+    eps_j = np.asarray(eps_j, dtype=float)
+    if style in ("arithmetic", "geometric"):
+        return np.sqrt(eps_i * eps_j)
+    if style == "sixthpower":
+        if sigma_i is None or sigma_j is None:
+            raise ValueError("sixthpower epsilon mixing needs sigmas")
+        sigma_i = np.asarray(sigma_i, dtype=float)
+        sigma_j = np.asarray(sigma_j, dtype=float)
+        num = 2.0 * np.sqrt(eps_i * eps_j) * sigma_i**3 * sigma_j**3
+        den = sigma_i**6 + sigma_j**6
+        return num / den
+    raise ValueError(f"unknown mix style {style!r}; expected one of {MIX_STYLES}")
+
+
+def build_mixed_tables(
+    epsilons: np.ndarray, sigmas: np.ndarray, style: str = "arithmetic"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Full ``(T, T)`` epsilon/sigma matrices from per-type coefficients."""
+    epsilons = np.asarray(epsilons, dtype=float)
+    sigmas = np.asarray(sigmas, dtype=float)
+    if epsilons.shape != sigmas.shape or epsilons.ndim != 1:
+        raise ValueError("epsilons and sigmas must be 1-D arrays of equal length")
+    ei, ej = np.meshgrid(epsilons, epsilons, indexing="ij")
+    si, sj = np.meshgrid(sigmas, sigmas, indexing="ij")
+    return (
+        mix_epsilon(ei, ej, si, sj, style=style),
+        mix_sigma(si, sj, style=style),
+    )

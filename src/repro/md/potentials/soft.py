@@ -1,0 +1,40 @@
+"""Soft cosine push-off potential (LAMMPS ``pair_style soft``).
+
+``E = A (1 + cos(pi r / rc))`` for ``r < rc`` — finite at ``r = 0``, so
+overlapping random-walk polymer configurations can be gently inflated
+into a valid melt before the real excluded-volume potential is switched
+on (the standard "fast push-off" used to prepare the Chain benchmark's
+initial state).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.potentials.base import AnalyticPairPotential
+
+__all__ = ["SoftRepulsion"]
+
+
+class SoftRepulsion(AnalyticPairPotential):
+    """Bounded repulsion used for overlap removal.
+
+    Parameters
+    ----------
+    prefactor:
+        The strength ``A``; ramped up over the push-off run.
+    cutoff:
+        Range ``rc`` of the repulsion.
+    """
+
+    def __init__(self, prefactor: float = 1.0, cutoff: float = 2.0 ** (1.0 / 6.0)):
+        if cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        self.prefactor = float(prefactor)
+        self.cutoff = float(cutoff)
+
+    def pair_terms(self, r, r2, type_i, type_j, q_i, q_j):
+        x = np.pi * r / self.cutoff
+        energy = self.prefactor * (1.0 + np.cos(x))
+        f_over_r = self.prefactor * np.pi / self.cutoff * np.sin(x) / r
+        return energy, f_over_r

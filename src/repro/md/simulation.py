@@ -1,0 +1,254 @@
+"""The MD timestep loop (Figure 1 of the paper).
+
+:class:`Simulation` wires together the substrates — neighbor list, pair
+potentials, bonded terms, k-space solver, fixes, integrator and
+constraints — into the canonical timestep:
+
+I   initial integration            (Modify — integrators are fixes)
+II  fixes / constraints            (Modify)
+III neighbor-list maintenance      (Neigh)
+IV  boundary bookkeeping           (Comm; inter-rank exchange when
+                                    decomposed, plain PBC wrap here)
+V   pairwise short-range forces    (Pair)
+VI  long-range forces              (Kspace)
+VII bonded forces                  (Bond)
+VIII property computes / output    (Output)
+
+Each phase runs inside the matching :class:`~repro.md.timers.TaskTimers`
+slot, so a run yields the same task breakdown the paper measures, plus
+the operation counters (pair interactions, rebuild cadence, grid points)
+that calibrate the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.md.atoms import AtomSystem
+from repro.md.bonded import BondedForce
+from repro.md.constraints import ShakeConstraints
+from repro.md.fixes import Fix
+from repro.md.integrators import Integrator, NoseHooverNPT, VelocityVerletNVE
+from repro.md.kspace.base import KSpaceSolver
+from repro.md.neighbor import NeighborList
+from repro.md.potentials.base import PairPotential
+from repro.md.thermo import ThermoLog
+from repro.md.timers import TaskTimers
+
+__all__ = ["Simulation", "OperationCounts"]
+
+
+@dataclass
+class OperationCounts:
+    """Work counters the performance model reads off a functional run."""
+
+    timesteps: int = 0
+    pair_interactions: int = 0
+    bond_evaluations: int = 0
+    kspace_grid_points: int = 0
+    neighbor_builds: int = 0
+    shake_iterations: int = 0
+
+    @property
+    def pair_interactions_per_step(self) -> float:
+        return self.pair_interactions / max(1, self.timesteps)
+
+
+class Simulation:
+    """A complete MD experiment: system + force field + integrator.
+
+    Parameters
+    ----------
+    system:
+        The :class:`~repro.md.atoms.AtomSystem` under study.
+    potentials:
+        Pairwise/many-body potentials (the "Pair" task).
+    bonded:
+        Bonded terms (the "Bond" task).
+    kspace:
+        Optional long-range solver (the "Kspace" task).
+    integrator:
+        Defaults to plain NVE velocity Verlet.
+    fixes:
+        Per-step fixes (thermostats, gravity, walls — "Modify").
+    constraints:
+        Optional SHAKE constraint set ("Modify").
+    dt:
+        Timestep in the experiment's own units.  Performance is always
+        reported in timesteps/s regardless of granularity (Section 2).
+    skin:
+        Neighbor-list skin distance (Table 2's per-benchmark values).
+    exclusions:
+        Non-bonded exclusion pairs (masked in the neighbor list and
+        corrected in k-space).
+    thermo_every:
+        Output interval ("Output" task).
+    """
+
+    def __init__(
+        self,
+        system: AtomSystem,
+        potentials: Sequence[PairPotential] = (),
+        *,
+        bonded: Sequence[BondedForce] = (),
+        kspace: KSpaceSolver | None = None,
+        integrator: Integrator | None = None,
+        fixes: Sequence[Fix] = (),
+        constraints: ShakeConstraints | None = None,
+        dt: float = 0.005,
+        skin: float = 0.3,
+        exclusions: np.ndarray | None = None,
+        thermo_every: int = 100,
+    ) -> None:
+        self.system = system
+        self.potentials = list(potentials)
+        self.bonded = list(bonded)
+        self.kspace = kspace
+        self.integrator = integrator if integrator is not None else VelocityVerletNVE()
+        self.fixes = list(fixes)
+        self.constraints = constraints
+        self.dt = float(dt)
+        self.timers = TaskTimers()
+        self.counts = OperationCounts()
+        self.thermo = ThermoLog(every=thermo_every)
+        self.step_number = 0
+        self.potential_energy = 0.0
+        self.virial = 0.0
+
+        if self.potentials:
+            cutoff = max(p.cutoff for p in self.potentials)
+            full = any(p.needs_full_list for p in self.potentials)
+        else:
+            cutoff, full = 1.0, False
+        self.neighbor = NeighborList(
+            cutoff, skin, full=full, exclusions=exclusions
+        )
+        self._setup_done = False
+
+    # ------------------------------------------------------------------
+    @property
+    def n_constraints(self) -> int:
+        return 0 if self.constraints is None else self.constraints.n_constraints
+
+    def setup(self) -> None:
+        """Initial neighbor build and force evaluation (step 0 state)."""
+        self.system.wrap()
+        self.neighbor.build(self.system)
+        self._compute_forces(count=False)
+        self._setup_done = True
+
+    def _compute_forces(self, count: bool = True) -> None:
+        """Zero and recompute all forces; refresh energy and virial."""
+        self.system.forces[:] = 0.0
+        if self.system.torques is not None:
+            self.system.torques[:] = 0.0
+        energy = 0.0
+        virial = 0.0
+        with self.timers.time("Pair"):
+            for potential in self.potentials:
+                result = potential.compute(self.system, self.neighbor)
+                energy += result.energy
+                virial += result.virial
+                if count:
+                    self.counts.pair_interactions += result.interactions
+        with self.timers.time("Bond"):
+            for term in self.bonded:
+                result = term.compute(self.system)
+                energy += result.energy
+                virial += result.virial
+                if count:
+                    self.counts.bond_evaluations += result.interactions
+        with self.timers.time("Kspace"):
+            if self.kspace is not None:
+                result = self.kspace.compute(self.system)
+                energy += result.energy
+                virial += result.virial
+                if count:
+                    self.counts.kspace_grid_points += result.interactions
+        self.potential_energy = energy
+        self.virial = virial
+        if (
+            not np.isfinite(energy)
+            or not np.all(np.isfinite(self.system.forces))
+            or not np.all(np.isfinite(self.system.positions))
+        ):
+            raise FloatingPointError(
+                f"non-finite forces/energy at step {self.step_number} — "
+                "the configuration blew up (timestep too large, overlapping "
+                "atoms, or an unstable thermostat setting)"
+            )
+        if isinstance(self.integrator, NoseHooverNPT):
+            self.integrator.set_virial(virial)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the system by one timestep (Figure 1, steps I-VIII)."""
+        if not self._setup_done:
+            self.setup()
+        self.step_number += 1
+        self.counts.timesteps += 1
+
+        # I/II - initial integration and position constraints (Modify).
+        with self.timers.time("Modify"):
+            if self.constraints is not None:
+                reference = self.system.positions.copy()
+            self.integrator.initial_integrate(self.system, self.dt)
+            if self.constraints is not None:
+                self.constraints.apply_positions(self.system, reference, self.dt)
+                self.counts.shake_iterations += self.constraints.last_iterations
+
+        # IV - boundary bookkeeping (in a decomposed run: ghost exchange).
+        with self.timers.time("Comm"):
+            self.system.wrap()
+
+        # III - neighbor-list maintenance.
+        with self.timers.time("Neigh"):
+            if self.neighbor.ensure(self.system):
+                self.counts.neighbor_builds += 1
+
+        # V/VI/VII - force computation (timed per task inside).
+        self._compute_forces()
+
+        # Post-force fixes, final integration, velocity constraints.
+        with self.timers.time("Modify"):
+            for fix in self.fixes:
+                fix.post_force(self.system, self.dt, self.step_number)
+            self.integrator.final_integrate(self.system, self.dt)
+            if self.constraints is not None:
+                self.constraints.apply_velocities(self.system)
+
+        # VIII - thermodynamic output.
+        with self.timers.time("Output"):
+            if self.thermo.should_log(self.step_number):
+                self.thermo.record(
+                    self.step_number,
+                    self.system,
+                    self.potential_energy,
+                    self.virial,
+                    self.n_constraints,
+                )
+
+    def run(self, n_steps: int) -> None:
+        """Run ``n_steps`` timesteps."""
+        if n_steps < 0:
+            raise ValueError("n_steps must be non-negative")
+        for _ in range(n_steps):
+            self.step()
+
+    # ------------------------------------------------------------------
+    def total_energy(self) -> float:
+        return self.system.kinetic_energy() + self.potential_energy
+
+    def task_breakdown(self) -> dict[str, float]:
+        """Fraction of run time per Table 1 task."""
+        return self.timers.fractions()
+
+    def timesteps_per_second(self) -> float:
+        """Measured functional-engine throughput (TS/s)."""
+        total = self.timers.total
+        if total <= 0:
+            return float("inf")
+        return self.counts.timesteps / total

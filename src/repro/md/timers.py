@@ -1,0 +1,55 @@
+"""Per-task wall-clock timers matching LAMMPS' timing breakdown.
+
+Table 1 of the paper maps a LAMMPS run onto eight computational tasks
+(Bond, Comm, Kspace, Modify, Neigh, Output, Pair, Other); the simulation
+loop wraps each phase of the timestep in one of these timers so that a
+*functional* run produces the same kind of breakdown the paper's
+Figure 3 plots for the real code.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["TASKS", "TaskTimers"]
+
+#: The LAMMPS timing categories of Table 1, in the paper's plot order.
+TASKS = ("Bond", "Comm", "Kspace", "Modify", "Neigh", "Other", "Output", "Pair")
+
+
+@dataclass
+class TaskTimers:
+    """Accumulated wall-clock seconds per task."""
+
+    seconds: dict[str, float] = field(
+        default_factory=lambda: {task: 0.0 for task in TASKS}
+    )
+
+    @contextmanager
+    def time(self, task: str) -> Iterator[None]:
+        """Context manager accumulating elapsed time into ``task``."""
+        if task not in self.seconds:
+            raise KeyError(f"unknown task {task!r}; expected one of {TASKS}")
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[task] += time.perf_counter() - start
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Per-task share of the total run time (sums to 1)."""
+        total = self.total
+        if total <= 0:
+            return {task: 0.0 for task in TASKS}
+        return {task: t / total for task, t in self.seconds.items()}
+
+    def reset(self) -> None:
+        for task in self.seconds:
+            self.seconds[task] = 0.0

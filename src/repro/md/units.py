@@ -1,0 +1,129 @@
+"""Unit systems of the benchmark decks and conversions between them.
+
+The suite mixes LAMMPS unit systems, exactly like the paper's decks:
+
+* **lj** (LJ, Chain, Chute): everything reduced — lengths in sigma,
+  energies in epsilon, kB = 1; one LJ time unit for argon parameters
+  (sigma = 3.405 A, eps/kB = 119.8 K, m = 39.948 amu) is ~2.156 ps.
+* **metal** (EAM): Angstrom, eV, picoseconds; kB = 8.617e-5 eV/K.
+* **real-like** (Rhodopsin proxy): Angstrom, kcal/mol, g/mol, with the
+  Coulomb constant folded into the charges; one time unit is 48.89 fs
+  and kB = 1.987e-3 kcal/mol/K.
+
+The conversions here back the ``timestep_fs`` values the ns/day
+headline numbers rely on, and are tested against the paper's own
+2 fs -> 2 ns/day arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "UnitSystem",
+    "LJ_ARGON",
+    "METAL",
+    "REAL_LIKE",
+    "unit_system_for",
+    "timesteps_to_ns",
+]
+
+#: Boltzmann constant in various energy units.
+KB_EV_PER_K = 8.617333262e-5
+KB_KCALMOL_PER_K = 1.987204259e-3
+
+
+@dataclass(frozen=True)
+class UnitSystem:
+    """One deck's unit system.
+
+    ``time_unit_fs`` is the physical duration of one internal time unit
+    (``sqrt(m L^2 / E)`` in the system's mass/length/energy units);
+    ``kb`` is Boltzmann's constant in the system's energy unit so
+    temperatures convert via ``T_internal = kb * T_kelvin``.
+    """
+
+    name: str
+    length_unit: str
+    energy_unit: str
+    time_unit_fs: float
+    kb: float
+
+    def dt_to_fs(self, dt_internal: float) -> float:
+        """Physical femtoseconds of one timestep of ``dt_internal``."""
+        if dt_internal <= 0:
+            raise ValueError("dt must be positive")
+        return dt_internal * self.time_unit_fs
+
+    def kelvin_to_internal(self, kelvin: float) -> float:
+        return self.kb * kelvin
+
+    def internal_to_kelvin(self, temperature: float) -> float:
+        return temperature / self.kb
+
+
+def _lj_time_unit_fs(
+    sigma_angstrom: float, eps_over_kb_kelvin: float, mass_amu: float
+) -> float:
+    """tau = sigma sqrt(m / eps) for LJ parameters, in femtoseconds."""
+    # Work in SI: sigma [m], eps [J], m [kg].
+    sigma_m = sigma_angstrom * 1e-10
+    eps_j = eps_over_kb_kelvin * 1.380649e-23
+    mass_kg = mass_amu * 1.66053906660e-27
+    tau_s = sigma_m * math.sqrt(mass_kg / eps_j)
+    return tau_s * 1e15
+
+
+#: Reduced LJ units with argon parameters (the conventional mapping).
+LJ_ARGON = UnitSystem(
+    name="lj",
+    length_unit="sigma",
+    energy_unit="epsilon",
+    time_unit_fs=_lj_time_unit_fs(3.405, 119.8, 39.948),
+    kb=1.0,
+)
+
+#: LAMMPS metal units (EAM): ps time base -> 1000 fs per time unit.
+METAL = UnitSystem(
+    name="metal",
+    length_unit="Angstrom",
+    energy_unit="eV",
+    time_unit_fs=1000.0,
+    kb=KB_EV_PER_K,
+)
+
+#: The rhodopsin proxy's (g/mol, Angstrom, kcal/mol) system:
+#: sqrt(g/mol * A^2 / (kcal/mol)) = 48.888 fs.
+REAL_LIKE = UnitSystem(
+    name="real-like",
+    length_unit="Angstrom",
+    energy_unit="kcal/mol",
+    time_unit_fs=48.88821,
+    kb=KB_KCALMOL_PER_K,
+)
+
+_BY_BENCHMARK = {
+    "lj": LJ_ARGON,
+    "chain": LJ_ARGON,
+    "chute": LJ_ARGON,
+    "eam": METAL,
+    "rhodo": REAL_LIKE,
+}
+
+
+def unit_system_for(benchmark: str) -> UnitSystem:
+    """The unit system a suite benchmark's deck uses."""
+    try:
+        return _BY_BENCHMARK[benchmark]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {benchmark!r}; expected one of {tuple(_BY_BENCHMARK)}"
+        ) from None
+
+
+def timesteps_to_ns(n_steps: float, timestep_fs: float) -> float:
+    """Simulated nanoseconds covered by ``n_steps`` timesteps."""
+    if timestep_fs <= 0:
+        raise ValueError("timestep_fs must be positive")
+    return n_steps * timestep_fs * 1e-6

@@ -1,0 +1,29 @@
+"""Simulated single-node MPI parallelization (the Intel-MPI substitute).
+
+LAMMPS parallelizes by spatial decomposition (Section 2.2): the box is
+split into one subdomain per MPI rank, each rank computes its timestep
+and exchanges ghost-atom positions/forces with its neighbours.  This
+package reproduces that structure analytically:
+
+* :mod:`repro.parallel.decomposition` — LAMMPS-style processor grids and
+  subdomain/ghost geometry;
+* :mod:`repro.parallel.mpi_model` — per-function MPI time accounting
+  (Init/Send/Sendrecv/Wait/Waitany/Allreduce/others) and the per-rank
+  imbalance model;
+* :mod:`repro.parallel.executor` — the simulated CPU-instance run that
+  Figures 3-6 and 10-12/14-15 are generated from.
+"""
+
+from repro.parallel.decomposition import SubdomainGeometry, proc_grid
+from repro.parallel.executor import CpuRunResult, simulate_cpu_run
+from repro.parallel.mpi_model import MPI_FUNCTIONS, MpiModel, MpiTimes
+
+__all__ = [
+    "proc_grid",
+    "SubdomainGeometry",
+    "MpiModel",
+    "MpiTimes",
+    "MPI_FUNCTIONS",
+    "simulate_cpu_run",
+    "CpuRunResult",
+]

@@ -1,0 +1,220 @@
+"""Simulated CPU-instance experiment runs (Section 5's campaign).
+
+:func:`simulate_cpu_run` evaluates one configuration — benchmark, atom
+count, MPI ranks, precision, k-space threshold — on the modelled
+dual-socket Xeon 8358 node and returns everything the paper's CPU
+figures plot: the Table 1 task breakdown (Figure 3), total MPI time and
+imbalance (Figure 4), the MPI function breakdown (Figure 5), and the
+performance / energy-efficiency / parallel-efficiency triple (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.parallel.decomposition import SubdomainGeometry
+from repro.parallel.mpi_model import MpiModel, MpiTimes
+from repro.perfmodel.costs import CpuCostModel, kspace_grid
+from repro.perfmodel.precision import Precision
+from repro.perfmodel.workloads import WorkloadParams, get_workload
+from repro.platforms.instances import CPU_INSTANCE, InstanceSpec
+from repro.platforms.power import CpuPowerModel
+
+__all__ = ["CpuRunResult", "simulate_cpu_run"]
+
+#: Task keys of the breakdown dictionaries, matching Figure 3's legend.
+BREAKDOWN_TASKS = (
+    "Bond",
+    "Comm",
+    "Kspace",
+    "Modify",
+    "Neigh",
+    "Other",
+    "Output",
+    "Pair",
+)
+
+
+@dataclass
+class CpuRunResult:
+    """Everything measured (modelled) for one CPU-instance run."""
+
+    benchmark: str
+    n_atoms: int
+    n_ranks: int
+    precision: str
+    kspace_error: float | None
+    #: Mean per-rank seconds per timestep, by Table 1 task (incl. Comm).
+    task_seconds: dict[str, float]
+    #: Mean per-rank MPI seconds per step, by MPI function.
+    mpi_function_seconds: dict[str, float]
+    #: Seconds per timestep of the whole run (slowest rank).
+    step_seconds: float
+    #: Performance in timesteps/second.
+    ts_per_s: float
+    #: Share of run time inside MPI calls (Figure 4 top).
+    mpi_time_fraction: float
+    #: Share of run time waiting in MPI calls (Figure 4 bottom).
+    mpi_imbalance_fraction: float
+    #: Modelled node power draw and the derived efficiency.
+    power_watts: float
+    energy_efficiency: float
+    #: Modelled average physical-core utilization.
+    core_utilization: float
+    #: Resident memory estimate in bytes.
+    memory_bytes: float
+    per_rank_compute_seconds: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def task_fractions(self) -> dict[str, float]:
+        total = sum(self.task_seconds.values())
+        if total <= 0:
+            return {task: 0.0 for task in BREAKDOWN_TASKS}
+        return {task: self.task_seconds.get(task, 0.0) / total for task in BREAKDOWN_TASKS}
+
+    def mpi_function_fractions(self) -> dict[str, float]:
+        total = sum(self.mpi_function_seconds.values())
+        if total <= 0:
+            return {fn: 0.0 for fn in self.mpi_function_seconds}
+        return {fn: t / total for fn, t in self.mpi_function_seconds.items()}
+
+    def ns_per_day(self, timestep_fs: float) -> float:
+        """Simulated nanoseconds per wall-clock day at this throughput."""
+        return self.ts_per_s * timestep_fs * 1e-6 * 86_400.0
+
+
+def _geometry(workload: WorkloadParams, n_atoms: int, n_ranks: int) -> SubdomainGeometry:
+    return SubdomainGeometry.build(
+        n_ranks,
+        workload.box_lengths(n_atoms),
+        ghost_cutoff=workload.cutoff + workload.skin,
+        number_density=workload.number_density,
+        quasi_2d=workload.quasi_2d,
+    )
+
+
+def simulate_cpu_run(
+    benchmark: str,
+    n_atoms: int,
+    n_ranks: int,
+    *,
+    precision: Precision | str = Precision.MIXED,
+    kspace_error: float | None = None,
+    seed: int = 0,
+    instance: InstanceSpec = CPU_INSTANCE,
+    cost_model: CpuCostModel | None = None,
+    mpi_model: MpiModel | None = None,
+) -> CpuRunResult:
+    """Model one run of ``benchmark`` with ``n_atoms`` on ``n_ranks`` cores.
+
+    The paper maps each MPI process to its own physical core, filling
+    one socket before the second (Section 5); ``instance`` bounds the
+    rank count accordingly.
+    """
+    workload = get_workload(benchmark)
+    instance.validate_resources(n_ranks=n_ranks)
+    if kspace_error is not None and not workload.has_kspace:
+        raise ValueError(f"{benchmark} computes no long-range forces")
+
+    model = cost_model if cost_model is not None else CpuCostModel(precision=precision)
+    if cost_model is None:
+        model.precision = Precision(precision)
+    mpi = mpi_model if mpi_model is not None else MpiModel()
+
+    geometry = _geometry(workload, n_atoms, n_ranks)
+    n_local = n_atoms / n_ranks
+    effective_error = kspace_error if kspace_error is not None else (
+        1e-4 if workload.has_kspace else None
+    )
+    compute = model.compute_times(
+        workload,
+        n_local,
+        n_ranks,
+        kspace_error=effective_error,
+        n_atoms_total=n_atoms,
+    )
+
+    # Jitter models per-rank load variation; the FFT is a globally
+    # synchronized collective, so only the local work jitters.
+    jitter = mpi.rank_jitter(workload, n_ranks, n_atoms, seed)
+    jitterable = compute.total - compute.kspace_fft
+    per_rank_compute = jitterable * jitter + compute.kspace_fft
+
+    grid_points = 0.0
+    if workload.has_kspace:
+        _, grid = kspace_grid(workload, n_atoms, effective_error or 1e-4)
+        grid_points = float(np.prod(grid))
+
+    mpi_times: MpiTimes = mpi.step_times(
+        workload,
+        geometry,
+        per_rank_compute,
+        kspace_grid_points=grid_points,
+        seed=seed,
+    )
+
+    # The run-loop step time: the slowest rank's compute plus the uniform
+    # communication cost (waits fill the gap on the others).  MPI_Init is
+    # outside the run loop, so it does not slow the timestep rate but
+    # does count toward profiled MPI time (exactly the paper's setup).
+    init = mpi_times.per_function["MPI_Init"]
+    uniform_comm = mpi_times.total - mpi_times.imbalance - init
+    step_seconds = float(np.max(per_rank_compute)) + uniform_comm
+    ts_per_s = 1.0 / step_seconds
+
+    # Task breakdown (mean over ranks).  FFT-transpose comm is charged to
+    # Kspace, as LAMMPS' own timing does; the rest of MPI goes to Comm.
+    kspace_comm = (
+        mpi_times.per_function["MPI_Waitany"]
+        + (mpi_times.per_function["MPI_Send"] if grid_points else 0.0) * 0.0
+    )
+    # MPI_Send contains both reverse-comm and FFT bytes; split it by origin.
+    send_total = mpi_times.per_function["MPI_Send"]
+    if grid_points > 0 and n_ranks > 1:
+        fft_send = 8.0 * grid_points * 4.0 / n_ranks / mpi.bandwidth_b_s
+        fft_send = min(fft_send, send_total)
+    else:
+        fft_send = 0.0
+    kspace_comm += fft_send
+    comm_task = mpi_times.total - init - kspace_comm
+
+    task_seconds = {
+        "Bond": compute.bond,
+        "Comm": comm_task,
+        "Kspace": compute.kspace + kspace_comm,
+        "Modify": compute.modify,
+        "Neigh": compute.neigh,
+        "Other": compute.other,
+        "Output": compute.output,
+        "Pair": compute.pair,
+    }
+
+    profiled_total = step_seconds + init
+    mpi_fraction = mpi_times.total / profiled_total if n_ranks > 1 else 0.0
+    imbalance_fraction = (
+        mpi_times.imbalance / profiled_total if n_ranks > 1 else 0.0
+    )
+
+    busy = float(np.mean(per_rank_compute)) / step_seconds
+    utilization = min(1.0, workload.core_utilization * busy**0.3)
+    power = CpuPowerModel(instance).watts(n_ranks, utilization)
+
+    return CpuRunResult(
+        benchmark=benchmark,
+        n_atoms=n_atoms,
+        n_ranks=n_ranks,
+        precision=str(Precision(precision).value),
+        kspace_error=effective_error if workload.has_kspace else None,
+        task_seconds=task_seconds,
+        mpi_function_seconds=dict(mpi_times.per_function),
+        step_seconds=step_seconds,
+        ts_per_s=ts_per_s,
+        mpi_time_fraction=mpi_fraction,
+        mpi_imbalance_fraction=imbalance_fraction,
+        power_watts=power,
+        energy_efficiency=ts_per_s / power,
+        core_utilization=utilization,
+        memory_bytes=workload.memory_bytes(n_atoms),
+        per_rank_compute_seconds=per_rank_compute,
+    )

@@ -1,0 +1,36 @@
+"""Calibrated performance model of LAMMPS on the two instances.
+
+The functional engine (:mod:`repro.md`) supplies *what* work a timestep
+does (pair interactions, rebuild cadence, grid sizes); this package maps
+that work onto the paper's hardware (Table 3) through per-task cost
+laws whose coefficients are calibrated against the paper's quoted anchor
+numbers (:mod:`repro.perfmodel.calibration`).  The CPU/GPU executors in
+:mod:`repro.parallel` and :mod:`repro.gpu` combine these compute costs
+with communication and offload models to regenerate every figure.
+"""
+
+from repro.perfmodel.calibration import PAPER_ANCHORS, PaperAnchors
+from repro.perfmodel.costs import CpuCostCoefficients, CpuCostModel
+from repro.perfmodel.precision import PRECISIONS, Precision, precision_pair_factor
+from repro.perfmodel.workloads import (
+    RANK_COUNTS,
+    SIZES_K,
+    WorkloadParams,
+    get_workload,
+    workloads,
+)
+
+__all__ = [
+    "WorkloadParams",
+    "workloads",
+    "get_workload",
+    "SIZES_K",
+    "RANK_COUNTS",
+    "CpuCostModel",
+    "CpuCostCoefficients",
+    "Precision",
+    "PRECISIONS",
+    "precision_pair_factor",
+    "PaperAnchors",
+    "PAPER_ANCHORS",
+]

@@ -1,0 +1,78 @@
+"""Anchor numbers quoted in the paper, used to calibrate and test.
+
+Every constant below is a number the paper states explicitly (with the
+section it comes from).  The model-validation tests assert that the
+simulated campaign reproduces each anchor within a tolerance — these
+are the "absolute" points that pin down the cost-model coefficients;
+everything else is shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PaperAnchors", "PAPER_ANCHORS"]
+
+
+@dataclass(frozen=True)
+class PaperAnchors:
+    """Quoted measurements from the paper, by section."""
+
+    # --- Section 5.2, CPU strong scaling -------------------------------
+    #: Rhodopsin, 2048k atoms, 64 ranks, baseline 1e-4 threshold.
+    rhodo_cpu_2048k_64r_ts: float = 10.77
+    #: Its parallel efficiency at 64 ranks (Section 7 quotes 74.29%).
+    rhodo_cpu_2048k_64r_eff: float = 0.7429
+    #: Chute best small-system performance (32k atoms).
+    chute_cpu_32k_best_ts: float = 10_697.0
+    #: Chute parallel efficiency floor for systems > 32k atoms.
+    chute_cpu_eff_floor: float = 0.48
+    #: Profiled average physical-core utilization per benchmark.
+    core_utilization: dict = field(
+        default_factory=lambda: {
+            "chute": 0.24,
+            "lj": 0.48,
+            "chain": 0.56,
+            "eam": 0.63,
+            "rhodo": 0.83,
+        }
+    )
+
+    # --- Section 7, error-threshold sensitivity ------------------------
+    #: Rhodopsin 2048k / 64 ranks at threshold 1e-7.
+    rhodo_cpu_2048k_64r_ts_e7: float = 3.54
+    rhodo_cpu_2048k_64r_eff_e7: float = 0.5654
+    #: Rhodopsin GPU, 2048k atoms on 8 GPUs: 1e-4 vs 1e-7.
+    rhodo_gpu_2048k_8g_ts: float = 16.09
+    rhodo_gpu_2048k_8g_ts_e7: float = 0.46
+
+    # --- Section 6.2, GPU strong scaling --------------------------------
+    #: Worst GPU parallel efficiency observed.
+    gpu_parallel_eff_floor: float = 0.2328
+    #: No more than 48 total MPI ranks were beneficial on the GPU node.
+    gpu_max_useful_ranks: int = 48
+    #: Average per-GPU utilization on 2-million-atom systems (Section 10).
+    gpu_utilization_2m: float = 0.30
+
+    # --- Section 8, precision -------------------------------------------
+    lj_cpu_2048k_64r_ts_single: float = 115.2
+    lj_cpu_2048k_64r_ts_double: float = 98.9
+    lj_gpu_2048k_8g_ts_single: float = 170.0
+    lj_gpu_2048k_8g_ts_double: float = 121.6
+    rhodo_cpu_2048k_64r_ts_single: float = 11.5
+    rhodo_cpu_2048k_64r_ts_double: float = 8.4
+    rhodo_gpu_2048k_8g_ts_single: float = 17.1
+    rhodo_gpu_2048k_8g_ts_double: float = 16.5
+
+    # --- Section 10, headline turnaround ---------------------------------
+    #: Rhodopsin 2048k: ~2 ns/day on the CPU node, ~2.8 ns/day on 8 GPUs
+    #: (at the 2 fs timestep).
+    rhodo_cpu_ns_per_day: float = 2.0
+    rhodo_gpu_ns_per_day: float = 2.8
+
+    # --- Section 4.1, memory ---------------------------------------------
+    #: Biggest experiment's memory footprint.
+    max_memory_gb: float = 2.9
+
+
+PAPER_ANCHORS = PaperAnchors()

@@ -1,0 +1,221 @@
+"""Per-benchmark workload parameters feeding the performance model.
+
+Each :class:`WorkloadParams` captures what one timestep of a benchmark
+*does* at production scale (Table 2 plus the LAMMPS deck geometry):
+number density, neighbor counts, bonded topology size, fix weight,
+whether Newton's third law halves the pair work, the rebuild cadence
+implied by the skin, and the box geometry for a given atom count.  The
+values mirror the functional engine's own measurements (tests compare
+them) but are closed-form so the model can evaluate 2-million-atom
+configurations instantly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "WorkloadParams",
+    "workloads",
+    "get_workload",
+    "SIZES_K",
+    "RANK_COUNTS",
+    "GPU_COUNTS",
+]
+
+#: The paper's four experiment sizes, in thousands of atoms (Section 5).
+SIZES_K: tuple[int, ...] = (32, 256, 864, 2048)
+
+#: MPI-rank sweep of the CPU characterization (Figures 3-6).
+RANK_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+#: GPU-device sweep of the GPU characterization (Figures 7-9).
+GPU_COUNTS: tuple[int, ...] = (1, 2, 4, 6, 8)
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Production-scale workload description of one suite benchmark."""
+
+    name: str
+    #: Atoms per cubic length-unit of the deck (sigma^-3 or Angstrom^-3).
+    number_density: float
+    #: Average neighbors within the force cutoff (Table 2).
+    neighbors_per_atom: float
+    cutoff: float
+    skin: float
+    #: Newton's 3rd law halves stored/computed pairs (False for Chute).
+    newton: bool
+    #: Relative per-pair arithmetic cost vs plain LJ (force-field math).
+    pair_cost_factor: float
+    #: Bonded elements per atom (bonds + angles).
+    bonds_per_atom: float = 0.0
+    angles_per_atom: float = 0.0
+    #: Relative per-atom cost of fixes/integration ("Modify" task).
+    modify_weight: float = 1.0
+    #: Timesteps between neighbor rebuilds (skin-dependent).
+    rebuild_every: float = 10.0
+    #: Per-rank compute-time jitter amplitude (drives MPI imbalance).
+    imbalance_amplitude: float = 0.01
+    #: Long-range solver active (Rhodopsin only).
+    has_kspace: bool = False
+    #: Mean squared charge per atom (for the k-space error model), in
+    #: the deck's charge units (Coulomb constant folded in).
+    qsq_per_atom: float = 0.0
+    #: Physical timestep for ns/day conversion.
+    timestep_fs: float = 5.0
+    #: Chute's bed is a thin slab: decompose in x/y only.
+    quasi_2d: bool = False
+    #: Slab height (length units) when quasi_2d.
+    slab_height: float = 16.0
+    #: Reference GPU package supports this pair style.
+    gpu_supported: bool = True
+    #: Average physical-core utilization the paper profiled (Section 5.2).
+    core_utilization: float = 0.5
+    #: Forward-comm payload per ghost atom.  Point particles ship three
+    #: coordinates (24 B); granular particles also need velocities and
+    #: angular velocities every step for the damped contact forces.
+    comm_bytes_per_atom: float = 24.0
+
+    # ------------------------------------------------------------------
+    def box_lengths(self, n_atoms: int) -> np.ndarray:
+        """Deck box dimensions for ``n_atoms`` at the deck density."""
+        if n_atoms < 1:
+            raise ValueError("n_atoms must be positive")
+        volume = n_atoms / self.number_density
+        if self.quasi_2d:
+            area = volume / self.slab_height
+            side = math.sqrt(area)
+            return np.array([side, side, self.slab_height])
+        side = volume ** (1.0 / 3.0)
+        return np.array([side, side, side])
+
+    @property
+    def list_neighbors_per_atom(self) -> float:
+        """Average stored neighbors (inside cutoff + skin)."""
+        scale = ((self.cutoff + self.skin) / self.cutoff) ** 3
+        return self.neighbors_per_atom * scale
+
+    def pair_interactions_per_atom(self) -> float:
+        """Computed pair interactions per atom per step."""
+        factor = 0.5 if self.newton else 1.0
+        return self.neighbors_per_atom * factor
+
+    def memory_bytes(self, n_atoms: int) -> float:
+        """Rough resident-set estimate: per-atom state + neighbor list.
+
+        Matches the paper's observation that even the biggest experiment
+        needs only ~2.9 GB (Section 4.1).
+        """
+        per_atom_state = 180.0  # x, v, f, type, image, molecule, ...
+        neighbor_entry = 4.0  # int32 neighbor indices
+        half = 0.5 if self.newton else 1.0
+        # Average list occupancy between rebuilds sits midway between the
+        # cutoff sphere and the cutoff+skin sphere.
+        occupancy = ((self.cutoff + 0.5 * self.skin) / self.cutoff) ** 3
+        stored = self.neighbors_per_atom * occupancy * half
+        return n_atoms * (per_atom_state + neighbor_entry * stored)
+
+
+workloads: dict[str, WorkloadParams] = {
+    "lj": WorkloadParams(
+        name="lj",
+        number_density=0.8442,
+        neighbors_per_atom=55.0,
+        cutoff=2.5,
+        skin=0.3,
+        newton=True,
+        pair_cost_factor=1.0,
+        modify_weight=1.0,
+        rebuild_every=10.0,
+        imbalance_amplitude=0.012,
+        timestep_fs=10.8,
+        core_utilization=0.48,
+    ),
+    "chain": WorkloadParams(
+        name="chain",
+        number_density=0.8442,
+        neighbors_per_atom=5.0,
+        cutoff=1.12,
+        skin=0.4,
+        newton=True,
+        # Short lists amortize badly: more per-pair loop overhead.
+        pair_cost_factor=1.45,
+        bonds_per_atom=0.99,
+        modify_weight=2.0,  # Langevin: RNG + drag per atom
+        rebuild_every=12.0,
+        imbalance_amplitude=0.08,
+        timestep_fs=10.8,
+        core_utilization=0.56,
+    ),
+    "eam": WorkloadParams(
+        name="eam",
+        number_density=4.0 / 3.615**3,  # fcc copper
+        neighbors_per_atom=45.0,
+        cutoff=4.95,
+        skin=1.0,
+        newton=True,
+        # Two-pass evaluation plus embedding-function interpolation.
+        pair_cost_factor=1.45,
+        modify_weight=1.0,
+        rebuild_every=30.0,  # a solid: atoms barely move
+        imbalance_amplitude=0.008,
+        timestep_fs=5.0,
+        core_utilization=0.63,
+    ),
+    "chute": WorkloadParams(
+        name="chute",
+        number_density=1.03,  # settled granular packing
+        neighbors_per_atom=7.0,
+        cutoff=1.0,
+        skin=0.1,
+        newton=False,  # Section 3: no Newton's-third-law sharing
+        # Hookean springs are cheap but history management adds state.
+        pair_cost_factor=0.9,
+        modify_weight=1.4,  # gravity + wall + angular integration
+        rebuild_every=15.0,
+        # Flowing granular beds develop density gradients: the paper
+        # measures the worst parallel efficiency (48%) and core
+        # utilization (24%) for Chute.
+        imbalance_amplitude=0.22,
+        timestep_fs=1.0,
+        quasi_2d=True,
+        gpu_supported=False,
+        core_utilization=0.24,
+        comm_bytes_per_atom=80.0,  # x + v + omega + radius per ghost
+    ),
+    "rhodo": WorkloadParams(
+        name="rhodo",
+        number_density=0.1,  # solvated all-atom system, atoms/A^3
+        neighbors_per_atom=440.0,
+        cutoff=10.0,
+        skin=2.0,
+        newton=True,
+        # erfc is table-interpolated and the ~440-entry lists amortize
+        # loop overheads: per-pair cost lands *below* sparse-list LJ.
+        pair_cost_factor=0.77,
+        bonds_per_atom=1.0,
+        angles_per_atom=0.5,
+        modify_weight=8.0,  # NPT chains + SHAKE iterations
+        rebuild_every=10.0,
+        imbalance_amplitude=0.15,
+        has_kspace=True,
+        # <q^2> with the Coulomb constant folded in (SPC/E-like charges).
+        qsq_per_atom=119.0,
+        timestep_fs=2.0,
+        core_utilization=0.83,
+    ),
+}
+
+
+def get_workload(name: str) -> WorkloadParams:
+    """Look up workload parameters by benchmark name."""
+    try:
+        return workloads[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; expected one of {tuple(workloads)}"
+        ) from None

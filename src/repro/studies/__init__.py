@@ -1,0 +1,45 @@
+"""Ablation and extension studies beyond the paper's figures.
+
+Each module isolates one design choice the paper (or its setup) fixes,
+and quantifies it with the same two-layer machinery — the functional
+engine where the effect is physical, the performance model where it is
+architectural:
+
+* :mod:`repro.studies.skin` — the neighbor-skin trade-off behind
+  Table 2's per-benchmark skin values;
+* :mod:`repro.studies.newton` — what Chute loses by not exploiting
+  Newton's third law (Section 3's footnote);
+* :mod:`repro.studies.gpu_ranks` — the ranks-per-GPU tuning the paper
+  did empirically ("no more than 48 total MPI processes were
+  beneficial", Section 6.2);
+* :mod:`repro.studies.weak_scaling` — the weak-scaling view prior work
+  focused on, for contrast with the paper's strong scaling;
+* :mod:`repro.studies.fft_precision` — the ``-DFFT_SINGLE`` build flag
+  (Section 4.3) as an ablation.
+"""
+
+from repro.studies.fft_precision import fft_precision_study
+from repro.studies.gpu_ranks import gpu_rank_tuning_study
+from repro.studies.newton import newton_ablation
+from repro.studies.skin import optimal_skin, skin_sweep_functional, skin_sweep_model
+from repro.studies.takeaways import (
+    commodity_fleet_gap,
+    dsa_gap,
+    project_cpu_balance,
+    project_gpu_improvements,
+)
+from repro.studies.weak_scaling import weak_scaling_study
+
+__all__ = [
+    "skin_sweep_functional",
+    "skin_sweep_model",
+    "optimal_skin",
+    "project_gpu_improvements",
+    "project_cpu_balance",
+    "dsa_gap",
+    "commodity_fleet_gap",
+    "newton_ablation",
+    "gpu_rank_tuning_study",
+    "weak_scaling_study",
+    "fft_precision_study",
+]

@@ -1,0 +1,72 @@
+"""Newton's-third-law ablation for the Chute benchmark.
+
+Section 3 singles Chute out: "Unlike all previous benchmarks, this
+experiment does not leverage Newton's third law to reduce the number of
+pairwise interactions to compute."  Turning Newton *on* halves the pair
+work but adds the reverse (force) ghost exchange — the classic LAMMPS
+``newton on/off`` trade-off.  This study evaluates both settings on the
+model and reports the crossover behaviour: Newton-on wins at scale
+(compute dominates), while the savings shrink for small, comm-bound
+configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.parallel.executor import CpuRunResult, simulate_cpu_run
+from repro.perfmodel.workloads import get_workload, workloads
+
+__all__ = ["NewtonComparison", "newton_ablation"]
+
+
+@dataclass(frozen=True)
+class NewtonComparison:
+    """Newton off (the paper's setting) vs on, for one configuration."""
+
+    n_atoms: int
+    n_ranks: int
+    ts_newton_off: float
+    ts_newton_on: float
+
+    @property
+    def speedup_from_newton(self) -> float:
+        return self.ts_newton_on / self.ts_newton_off
+
+
+def _run_with_newton(
+    benchmark: str, n_atoms: int, n_ranks: int, newton: bool, seed: int
+) -> CpuRunResult:
+    base = get_workload(benchmark)
+    patched = replace(base, newton=newton)
+    # Temporarily install the patched workload; the executor looks the
+    # benchmark up by name.
+    original = workloads[benchmark]
+    workloads[benchmark] = patched
+    try:
+        return simulate_cpu_run(benchmark, n_atoms, n_ranks, seed=seed)
+    finally:
+        workloads[benchmark] = original
+
+
+def newton_ablation(
+    benchmark: str = "chute",
+    sizes: tuple[int, ...] = (32_000, 2_048_000),
+    rank_counts: tuple[int, ...] = (1, 64),
+    seed: int = 0,
+) -> list[NewtonComparison]:
+    """Compare ``newton off`` (paper setting for Chute) against ``on``."""
+    comparisons = []
+    for n_atoms in sizes:
+        for n_ranks in rank_counts:
+            off = _run_with_newton(benchmark, n_atoms, n_ranks, False, seed)
+            on = _run_with_newton(benchmark, n_atoms, n_ranks, True, seed)
+            comparisons.append(
+                NewtonComparison(
+                    n_atoms=n_atoms,
+                    n_ranks=n_ranks,
+                    ts_newton_off=off.ts_per_s,
+                    ts_newton_on=on.ts_per_s,
+                )
+            )
+    return comparisons

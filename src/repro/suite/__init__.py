@@ -1,0 +1,31 @@
+"""The five-experiment MD benchmark suite (Section 3 / Table 2).
+
+Each benchmark module exposes
+
+* ``TAXONOMY`` — the Table 2 row (force field, cutoff, skin,
+  neighbors/atom, integration style, …),
+* ``build(n_atoms, seed)`` — a ready-to-run functional
+  :class:`~repro.md.simulation.Simulation` at laptop scale,
+
+and the :data:`registry` maps the paper's benchmark names (``rhodo``,
+``lj``, ``chain``, ``eam``, ``chute``) to those modules.
+"""
+
+from repro.suite.base import BenchmarkDefinition, Taxonomy
+from repro.suite.registry import (
+    BENCHMARK_NAMES,
+    CPU_BENCHMARKS,
+    GPU_BENCHMARKS,
+    get_benchmark,
+    registry,
+)
+
+__all__ = [
+    "BenchmarkDefinition",
+    "Taxonomy",
+    "registry",
+    "get_benchmark",
+    "BENCHMARK_NAMES",
+    "CPU_BENCHMARKS",
+    "GPU_BENCHMARKS",
+]

@@ -1,0 +1,60 @@
+"""The "Chain" benchmark: bead-spring polymer melt (``bench/in.chain``).
+
+Table 2 row: LJ (WCA) pair force field at cutoff 1.12 sigma, skin
+0.4 sigma, 5 neighbors/atom, FENE bonded potential, NVE integration with
+a Langevin thermostat on all atoms.  The paper's chains are 100-mers;
+``build`` defaults to shorter chains for test speed and accepts
+``chain_length=100`` for full fidelity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.bonded import FENEBond
+from repro.md.fixes import LangevinThermostat
+from repro.md.lattice import polymer_melt_system
+from repro.md.potentials.lj import WCA_CUTOFF, LennardJonesCut
+from repro.md.simulation import Simulation
+from repro.suite.base import BenchmarkDefinition, Taxonomy
+
+__all__ = ["TAXONOMY", "DEFINITION", "build"]
+
+TAXONOMY = Taxonomy(
+    name="chain",
+    min_atoms=32_000,
+    force_field="lj",
+    cutoff=1.12,
+    cutoff_units="sigma",
+    neighbor_skin=0.4,
+    neighbors_per_atom=5,
+    integration="NVE",
+)
+
+
+def build(
+    n_atoms: int = 500, seed: int = 4321, chain_length: int = 25
+) -> Simulation:
+    """FENE 100-mer melt (shorter chains by default for test speed)."""
+    n_chains = max(1, round(n_atoms / chain_length))
+    system = polymer_melt_system(n_chains, chain_length, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    # LAMMPS in.chain: special_bonds fene masks the 1-2 LJ interaction
+    # (the FENE bond term already contains the WCA core).
+    return Simulation(
+        system,
+        [LennardJonesCut(epsilon=1.0, sigma=1.0, cutoff=WCA_CUTOFF)],
+        bonded=[FENEBond(k=30.0, r0=1.5)],
+        fixes=[LangevinThermostat(temperature=1.0, damp=10.0, rng=rng)],
+        dt=0.005,
+        skin=TAXONOMY.neighbor_skin,
+        exclusions=system.topology.bonds,
+    )
+
+
+DEFINITION = BenchmarkDefinition(
+    taxonomy=TAXONOMY,
+    build=build,
+    newton=True,
+    timestep_fs=10.8,
+)

@@ -1,0 +1,44 @@
+"""The "EAM" benchmark: copper metallic solid (``bench/in.eam``).
+
+Table 2 row: EAM many-body potential, cutoff 4.95 Angstrom, skin
+1.0 Angstrom, 45 neighbors/atom, NVE integration.
+"""
+
+from __future__ import annotations
+
+from repro.md.lattice import eam_solid_system
+from repro.md.potentials.eam import EAMAlloy, EAMParameters
+from repro.md.simulation import Simulation
+from repro.suite.base import BenchmarkDefinition, Taxonomy
+
+__all__ = ["TAXONOMY", "DEFINITION", "build"]
+
+TAXONOMY = Taxonomy(
+    name="eam",
+    min_atoms=32_000,
+    force_field="EAM",
+    cutoff=4.95,
+    cutoff_units="Angstrom",
+    neighbor_skin=1.0,
+    neighbors_per_atom=45,
+    integration="NVE",
+)
+
+
+def build(n_atoms: int = 500, seed: int = 777) -> Simulation:
+    """Copper fcc solid with the analytic EAM potential."""
+    system = eam_solid_system(n_atoms, seed=seed)
+    return Simulation(
+        system,
+        [EAMAlloy(EAMParameters(cutoff=TAXONOMY.cutoff))],
+        dt=0.002,
+        skin=TAXONOMY.neighbor_skin,
+    )
+
+
+DEFINITION = BenchmarkDefinition(
+    taxonomy=TAXONOMY,
+    build=build,
+    newton=True,
+    timestep_fs=5.0,  # the LAMMPS deck's 5 fs metal-units timestep
+)

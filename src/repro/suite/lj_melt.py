@@ -1,0 +1,45 @@
+"""The "LJ" benchmark: 3-D Lennard-Jones melt (``bench/in.lj``).
+
+Table 2 row: LJ force field, cutoff 2.5 sigma, skin 0.3 sigma,
+55 neighbors/atom, NVE integration, no bonded or long-range terms.
+"""
+
+from __future__ import annotations
+
+from repro.md.lattice import lj_melt_system
+from repro.md.potentials.lj import LennardJonesCut
+from repro.md.simulation import Simulation
+from repro.suite.base import BenchmarkDefinition, Taxonomy
+
+__all__ = ["TAXONOMY", "DEFINITION", "build"]
+
+TAXONOMY = Taxonomy(
+    name="lj",
+    min_atoms=32_000,
+    force_field="lj",
+    cutoff=2.5,
+    cutoff_units="sigma",
+    neighbor_skin=0.3,
+    neighbors_per_atom=55,
+    integration="NVE",
+)
+
+
+def build(n_atoms: int = 500, seed: int = 12345) -> Simulation:
+    """LJ melt at reduced density 0.8442 and temperature 1.44."""
+    system = lj_melt_system(n_atoms, seed=seed)
+    return Simulation(
+        system,
+        [LennardJonesCut(epsilon=1.0, sigma=1.0, cutoff=TAXONOMY.cutoff)],
+        dt=0.005,
+        skin=TAXONOMY.neighbor_skin,
+    )
+
+
+DEFINITION = BenchmarkDefinition(
+    taxonomy=TAXONOMY,
+    build=build,
+    newton=True,
+    # One LJ tau is ~2.16 ps for argon; the bench timestep 0.005 tau.
+    timestep_fs=10.8,
+)

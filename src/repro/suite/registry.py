@@ -1,0 +1,44 @@
+"""Benchmark registry: name -> definition lookups used by the harness."""
+
+from __future__ import annotations
+
+from repro.suite import chain, chute, eam_solid, lj_melt, rhodo
+from repro.suite.base import BenchmarkDefinition
+
+__all__ = [
+    "registry",
+    "get_benchmark",
+    "BENCHMARK_NAMES",
+    "CPU_BENCHMARKS",
+    "GPU_BENCHMARKS",
+]
+
+#: All five suite benchmarks, in the paper's plot order.
+registry: dict[str, BenchmarkDefinition] = {
+    "chain": chain.DEFINITION,
+    "chute": chute.DEFINITION,
+    "eam": eam_solid.DEFINITION,
+    "lj": lj_melt.DEFINITION,
+    "rhodo": rhodo.DEFINITION,
+}
+
+BENCHMARK_NAMES: tuple[str, ...] = tuple(registry)
+
+#: The CPU characterization covers all five experiments (Section 5).
+CPU_BENCHMARKS: tuple[str, ...] = BENCHMARK_NAMES
+
+#: The GPU package lacks gran/hooke support, so Chute is excluded
+#: (Section 6).
+GPU_BENCHMARKS: tuple[str, ...] = tuple(
+    name for name, definition in registry.items() if definition.gpu_supported
+)
+
+
+def get_benchmark(name: str) -> BenchmarkDefinition:
+    """Look up a benchmark by its paper name (``lj``, ``rhodo``, ...)."""
+    try:
+        return registry[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; expected one of {BENCHMARK_NAMES}"
+        ) from None

@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.md.atoms import AtomSystem
+from repro.md.box import Box
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20220707)
+
+
+@pytest.fixture
+def cubic_box() -> Box:
+    return Box([10.0, 10.0, 10.0])
+
+
+@pytest.fixture
+def small_gas(cubic_box, rng) -> AtomSystem:
+    """Fifty non-interacting particles with random state."""
+    positions = rng.uniform(0.0, 10.0, size=(50, 3))
+    system = AtomSystem(positions, cubic_box)
+    system.seed_velocities(1.0, rng)
+    return system
+
+
+def finite_difference_forces(energy_fn, positions: np.ndarray, h: float = 1e-6):
+    """Central-difference gradient of ``energy_fn`` (−∇E).
+
+    ``energy_fn`` takes an ``(N, 3)`` array and returns a scalar energy.
+    The shared oracle for every analytic-force test.
+    """
+    positions = np.asarray(positions, dtype=float)
+    forces = np.zeros_like(positions)
+    for i in range(positions.shape[0]):
+        for d in range(3):
+            plus = positions.copy()
+            minus = positions.copy()
+            plus[i, d] += h
+            minus[i, d] -= h
+            forces[i, d] = -(energy_fn(plus) - energy_fn(minus)) / (2.0 * h)
+    return forces

@@ -1,0 +1,157 @@
+"""Shape tests for the CPU-instance figures (3, 4, 5, 6)."""
+
+import pytest
+
+from repro.figures import fig03, fig04, fig05, fig06
+
+
+@pytest.fixture(scope="module")
+def data03():
+    return fig03.generate()
+
+
+@pytest.fixture(scope="module")
+def data04():
+    return fig04.generate()
+
+
+@pytest.fixture(scope="module")
+def data05():
+    return fig05.generate()
+
+
+@pytest.fixture(scope="module")
+def data06():
+    return fig06.generate()
+
+
+class TestFig03Breakdown:
+    def test_full_grid_generated(self, data03):
+        assert len(data03.series) == 5 * 4 * 7
+
+    def test_lj_serial_pair_share_over_75pct(self, data03):
+        """Section 5: LJ spends >75% of a 1-rank run computing pairs."""
+        assert data03.series[("lj", 32, 1)]["Pair"] > 0.75
+
+    def test_pair_share_follows_neighbor_count(self, data03):
+        """Chain and Chute (5 and 7 neighbors) spend much less in Pair
+        than LJ (55) despite Chain sharing LJ's force field."""
+        for size in (32, 2048):
+            lj = data03.series[("lj", size, 1)]["Pair"]
+            assert data03.series[("chain", size, 1)]["Pair"] < lj
+            assert data03.series[("chute", size, 1)]["Pair"] < lj
+
+    def test_comm_grows_with_parallelization_small_systems(self, data03):
+        serial = data03.series[("lj", 32, 1)]["Comm"]
+        wide = data03.series[("lj", 32, 64)]["Comm"]
+        assert wide > serial
+
+    def test_comm_smaller_for_larger_systems(self, data03):
+        small = data03.series[("lj", 32, 64)]["Comm"]
+        big = data03.series[("lj", 2048, 64)]["Comm"]
+        assert big < small
+
+    def test_bonded_share_marginal(self, data03):
+        """Bond time is marginal for Rhodopsin and Chain (Section 5)."""
+        assert data03.series[("rhodo", 2048, 1)]["Bond"] < 0.10
+        assert data03.series[("chain", 2048, 1)]["Bond"] < 0.45
+
+    def test_only_rhodo_has_kspace_share(self, data03):
+        assert data03.series[("rhodo", 864, 1)]["Kspace"] > 0.05
+        for bench in ("lj", "chain", "eam", "chute"):
+            assert data03.series[(bench, 864, 1)]["Kspace"] == 0.0
+
+    def test_render(self, data03):
+        assert "Figure 3" in data03.render()
+
+
+class TestFig04MpiOverhead:
+    def test_overhead_decreases_with_system_size(self, data04):
+        for bench in ("lj", "eam", "chain"):
+            small, _ = data04.series[(bench, 32, 64)]
+            big, _ = data04.series[(bench, 2048, 64)]
+            assert big < small
+
+    def test_imbalance_ordering(self, data04):
+        """EAM and LJ have much lower imbalance than Chain and Chute."""
+        for size in (256, 2048):
+            for ranks in (16, 64):
+                _, chain_imb = data04.series[("chain", size, ranks)]
+                _, chute_imb = data04.series[("chute", size, ranks)]
+                _, lj_imb = data04.series[("lj", size, ranks)]
+                _, eam_imb = data04.series[("eam", size, ranks)]
+                assert min(chain_imb, chute_imb) > max(lj_imb, eam_imb)
+
+    def test_percentages_bounded(self, data04):
+        for mpi_pct, imb_pct in data04.series.values():
+            assert 0 <= imb_pct <= mpi_pct <= 100
+
+
+class TestFig05MpiFunctions:
+    def test_fractions_normalized(self, data05):
+        for fractions in data05.series.values():
+            assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_init_considerable_and_growing_with_ranks(self, data05):
+        """Section 5.1: MPI_Init takes a considerable share, increasing
+        with the number of MPI processes."""
+        low = data05.series[("lj", 32, 4)]["MPI_Init"]
+        high = data05.series[("lj", 32, 64)]["MPI_Init"]
+        assert high > low
+        assert high > 0.15
+
+    def test_data_exchange_grows_with_system_size(self, data05):
+        """Send/Sendrecv become more prominent for bigger systems, where
+        synchronization (Init/Wait) no longer dominates."""
+        for bench in ("lj", "eam"):
+            small = data05.series[(bench, 32, 64)]
+            big = data05.series[(bench, 2048, 64)]
+            small_data = small["MPI_Send"] + small["MPI_Sendrecv"]
+            big_data = big["MPI_Send"] + big["MPI_Sendrecv"]
+            assert big_data > small_data
+
+
+class TestFig06Scaling:
+    def test_rhodo_slowest_everywhere(self, data06):
+        for size in (32, 256, 864, 2048):
+            for ranks in (1, 64):
+                rhodo = data06.series[("rhodo", size, ranks)]["ts_per_s"]
+                others = [
+                    data06.series[(b, size, ranks)]["ts_per_s"]
+                    for b in ("lj", "chain", "eam", "chute")
+                ]
+                assert rhodo < min(others)
+
+    def test_chute_fastest_at_32k_but_not_at_2048k(self, data06):
+        """Chute leads small systems but cannot sustain it (Section 5.2)."""
+        chute_32 = data06.series[("chute", 32, 64)]["ts_per_s"]
+        others_32 = [
+            data06.series[(b, 32, 64)]["ts_per_s"] for b in ("lj", "chain", "eam")
+        ]
+        assert chute_32 > max(others_32)
+        chute_2048 = data06.series[("chute", 2048, 64)]["ts_per_s"]
+        lj_2048 = data06.series[("lj", 2048, 64)]["ts_per_s"]
+        chain_2048 = data06.series[("chain", 2048, 64)]["ts_per_s"]
+        assert chute_2048 < max(lj_2048, chain_2048)
+
+    def test_chute_worst_parallel_efficiency(self, data06):
+        for size in (256, 864, 2048):
+            chute = data06.series[("chute", size, 64)]["parallel_efficiency_pct"]
+            for bench in ("lj", "eam", "rhodo"):
+                assert chute < data06.series[(bench, size, 64)][
+                    "parallel_efficiency_pct"
+                ]
+
+    def test_efficiencies_bounded(self, data06):
+        for metrics in data06.series.values():
+            assert 0 < metrics["parallel_efficiency_pct"] <= 100.0 + 1e-6
+
+    def test_rhodo_anchor_at_2048k(self, data06):
+        assert data06.series[("rhodo", 2048, 64)]["ts_per_s"] == pytest.approx(
+            10.77, rel=0.2
+        )
+
+    def test_energy_efficiency_highest_for_small_cheap_runs(self, data06):
+        small = data06.series[("chute", 32, 64)]["ts_per_s_per_watt"]
+        big = data06.series[("chute", 2048, 64)]["ts_per_s_per_watt"]
+        assert small > big

@@ -1,0 +1,122 @@
+"""Shape tests for the GPU-instance figures (7, 8, 9)."""
+
+import pytest
+
+from repro.figures import fig07, fig08, fig09
+
+
+@pytest.fixture(scope="module")
+def data07():
+    return fig07.generate()
+
+
+@pytest.fixture(scope="module")
+def data08():
+    return fig08.generate()
+
+
+@pytest.fixture(scope="module")
+def data09():
+    return fig09.generate()
+
+
+class TestFig07GpuBreakdown:
+    def test_no_chute_panel(self, data07):
+        benches = {key[0] for key in data07.series}
+        assert benches == {"rhodo", "lj", "chain", "eam"}
+        assert len(data07.series) == 4 * 4 * 5
+
+    def test_rhodo_pair_share_drops_below_quarter(self, data07):
+        """Section 6.1: the GPU runs Rhodopsin's pair task much faster."""
+        for size in (864, 2048):
+            assert data07.series[("rhodo", size, 8)]["Pair"] < 0.25
+
+    def test_eam_still_pair_dominated(self, data07):
+        """EAM still spends most of its runtime in pair computation."""
+        fractions = data07.series[("eam", 2048, 1)]
+        assert fractions["Pair"] == max(fractions.values())
+
+    def test_rhodo_modify_more_relevant_than_on_cpu(self, data07):
+        """SHAKE has no GPU port: Modify grows in the GPU breakdown."""
+        from repro.figures import fig03
+
+        gpu = data07.series[("rhodo", 2048, 8)]["Modify"]
+        cpu = fig03.generate(
+            benchmarks=("rhodo",), sizes_k=(2048,), ranks=(64,)
+        ).series[("rhodo", 2048, 64)]["Modify"]
+        assert gpu > cpu
+
+
+class TestFig08Kernels:
+    def test_memcpy_entries_everywhere(self, data08):
+        for fractions in data08.series.values():
+            assert "[CUDA memcpy HtoD]" in fractions
+            assert "[CUDA memcpy DtoH]" in fractions
+
+    def test_data_movement_majority_of_device_activity(self, data08):
+        """'The majority of the time actively spent by the GPU is
+        involved in memory movement primitives' (Section 6.1)."""
+        fractions = data08.series[("lj", 2048, 8)]
+        moved = sum(v for k, v in fractions.items() if k.startswith("[CUDA"))
+        assert moved > 0.35
+
+    def test_rhodo_neigh_kernel_breaking_point(self, data08):
+        """make_rho/particle_map lead up to 864k; calc_neigh_list_cell
+        becomes prevalent at 2048k (Section 6.1)."""
+
+        def top_compute_kernel(size):
+            fractions = data08.series[("rhodo", size, 8)]
+            compute = {k: v for k, v in fractions.items() if not k.startswith("[")}
+            return max(compute, key=compute.get)
+
+        assert top_compute_kernel(256) in ("make_rho", "particle_map", "interp")
+        assert top_compute_kernel(864) in ("make_rho", "particle_map", "interp")
+        assert top_compute_kernel(2048) == "calc_neigh_list_cell"
+
+    def test_eam_split_kernels_present(self, data08):
+        fractions = data08.series[("eam", 864, 4)]
+        assert fractions["k_eam_fast"] > 0
+        assert fractions["k_energy_fast"] > 0
+
+
+class TestFig09GpuScaling:
+    def test_parallel_efficiency_worse_than_cpu(self, data09):
+        """Section 6.2: multi-GPU scaling is considerably worse."""
+        from repro.figures import fig06
+
+        cpu = fig06.generate(benchmarks=("lj",), sizes_k=(2048,), ranks=(1, 64))
+        cpu_eff = cpu.series[("lj", 2048, 64)]["parallel_efficiency_pct"]
+        gpu_eff = data09.series[("lj", 2048, 8)]["parallel_efficiency_pct"]
+        assert gpu_eff < cpu_eff
+
+    def test_efficiency_floor_below_40pct(self, data09):
+        """The paper quotes 23.28% as the worst efficiency."""
+        floor = min(
+            m["parallel_efficiency_pct"] for m in data09.series.values()
+        )
+        assert floor < 40.0
+
+    def test_eam_outperforms_chain_on_gpu(self, data09):
+        for size in (256, 864, 2048):
+            eam = data09.series[("eam", size, 8)]["ts_per_s"]
+            chain = data09.series[("chain", size, 8)]["ts_per_s"]
+            assert eam > chain
+
+    def test_rhodo_gpu_anchor(self, data09):
+        assert data09.series[("rhodo", 2048, 8)]["ts_per_s"] == pytest.approx(
+            16.09, rel=0.2
+        )
+
+    def test_gpu_utilization_low_at_2m(self, data09):
+        """Section 10: average per-GPU utilization ~30% at 2M atoms."""
+        util = data09.series[("rhodo", 2048, 8)]["gpu_utilization"]
+        assert util < 0.5
+
+    def test_energy_efficiency_below_cpu_peak(self, data09):
+        """GPU-instance TS/s/W stays below the CPU instance's peak."""
+        from repro.figures import fig06
+
+        cpu = fig06.generate(benchmarks=("chute",), sizes_k=(32,), ranks=(1, 64))
+        cpu_peak = cpu.series[("chute", 32, 64)]["ts_per_s_per_watt"]
+        gpu_peak = max(m["ts_per_s_per_watt"] for m in data09.series.values())
+        assert gpu_peak < cpu_peak

@@ -1,0 +1,165 @@
+"""Shape tests for the sensitivity figures (10-16) and the headline."""
+
+import pytest
+
+from repro.figures import (
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    headline,
+)
+
+
+@pytest.fixture(scope="module")
+def data10():
+    return fig10.generate()
+
+
+@pytest.fixture(scope="module")
+def data11():
+    return fig11.generate()
+
+
+@pytest.fixture(scope="module")
+def data13():
+    return fig13.generate()
+
+
+class TestFig10ErrorThresholdCpu:
+    def test_performance_monotone_in_threshold(self, data10):
+        """Lowering the threshold always costs performance."""
+        for size in (32, 256, 864, 2048):
+            for ranks in (1, 64):
+                series = [
+                    data10.series[(t, size, ranks)]["ts_per_s"]
+                    for t in (1e-4, 1e-5, 1e-6, 1e-7)
+                ]
+                assert series == sorted(series, reverse=True)
+
+    def test_anchor_values(self, data10):
+        assert data10.series[(1e-4, 2048, 64)]["ts_per_s"] == pytest.approx(
+            10.77, rel=0.2
+        )
+        assert data10.series[(1e-7, 2048, 64)]["ts_per_s"] == pytest.approx(
+            3.54, rel=0.25
+        )
+
+    def test_parallel_efficiency_degrades(self, data10):
+        base = data10.series[(1e-4, 2048, 64)]["parallel_efficiency_pct"]
+        tight = data10.series[(1e-7, 2048, 64)]["parallel_efficiency_pct"]
+        assert tight < base
+
+
+class TestFig11ErrorBreakdown:
+    def test_kspace_share_grows_with_tighter_threshold(self, data11):
+        for size in (256, 2048):
+            for ranks in (2, 64):
+                shares = [
+                    data11.series[(t, size, ranks)]["Kspace"]
+                    for t in (1e-4, 1e-5, 1e-6, 1e-7)
+                ]
+                assert shares == sorted(shares)
+
+    def test_kspace_dominates_at_1e7(self, data11):
+        assert data11.series[(1e-7, 2048, 2)]["Kspace"] > 0.5
+
+
+class TestFig12ErrorMpi:
+    def test_send_share_grows_with_size_at_tight_threshold(self):
+        data = fig12.generate(sizes_k=(32, 2048), ranks=(16,), thresholds=(1e-7,))
+        small = data.series[(1e-7, 32, 16)]["MPI_Send"]
+        big = data.series[(1e-7, 2048, 16)]["MPI_Send"]
+        assert big > small
+
+
+class TestFig13ErrorThresholdGpu:
+    def test_gpu_collapse_stronger_than_cpu(self, data13, data10):
+        """The GPU pays ~35x at 1e-7 vs ~3x on the CPU (Section 7)."""
+        gpu_ratio = (
+            data13.series[(1e-4, 2048, 8)]["ts_per_s"]
+            / data13.series[(1e-7, 2048, 8)]["ts_per_s"]
+        )
+        cpu_ratio = (
+            data10.series[(1e-4, 2048, 64)]["ts_per_s"]
+            / data10.series[(1e-7, 2048, 64)]["ts_per_s"]
+        )
+        assert gpu_ratio > 3 * cpu_ratio
+
+    def test_anchor_values(self, data13):
+        assert data13.series[(1e-4, 2048, 8)]["ts_per_s"] == pytest.approx(
+            16.09, rel=0.2
+        )
+        assert data13.series[(1e-7, 2048, 8)]["ts_per_s"] == pytest.approx(
+            0.46, rel=0.35
+        )
+
+
+class TestFig14ErrorOverhead:
+    def test_relative_mpi_overhead_shrinks_with_threshold(self):
+        """Section 7: lowering the threshold reduces the MPI share."""
+        data = fig14.generate(sizes_k=(2048,))
+        base = data.series[(1e-4, 2048, 64)][0]
+        tight = data.series[(1e-7, 2048, 64)][0]
+        assert tight < base
+
+    def test_thresholds_match_paper_selection(self):
+        assert fig14.FIG14_THRESHOLDS == (1e-4, 1e-6, 1e-7)
+
+
+class TestFig15PrecisionCpu:
+    @pytest.fixture(scope="class")
+    def data15(self):
+        return fig15.generate(sizes_k=(2048,), ranks=(64,))
+
+    def test_double_always_slowest(self, data15):
+        for bench in ("lj", "rhodo"):
+            double = data15.series[(bench, "double", 2048, 64)]
+            single = data15.series[(bench, "single", 2048, 64)]
+            mixed = data15.series[(bench, "mixed", 2048, 64)]
+            assert double < mixed <= single
+
+    def test_anchors(self, data15):
+        assert data15.series[("lj", "single", 2048, 64)] == pytest.approx(115.2, rel=0.2)
+        assert data15.series[("lj", "double", 2048, 64)] == pytest.approx(98.9, rel=0.2)
+        assert data15.series[("rhodo", "single", 2048, 64)] == pytest.approx(11.5, rel=0.2)
+        assert data15.series[("rhodo", "double", 2048, 64)] == pytest.approx(8.4, rel=0.2)
+
+
+class TestFig16PrecisionGpu:
+    @pytest.fixture(scope="class")
+    def data16(self):
+        return fig16.generate(sizes_k=(2048,), gpus=(8,))
+
+    def test_lj_most_sensitive_rhodo_barely(self, data16):
+        """Section 8: LJ-GPU is most precision sensitive; Rhodopsin-GPU
+        barely changes."""
+        lj_drop = (
+            data16.series[("lj", "double", 2048, 8)]
+            / data16.series[("lj", "single", 2048, 8)]
+        )
+        rhodo_drop = (
+            data16.series[("rhodo", "double", 2048, 8)]
+            / data16.series[("rhodo", "single", 2048, 8)]
+        )
+        assert lj_drop < 0.85
+        assert rhodo_drop > 0.90
+
+    def test_anchors(self, data16):
+        assert data16.series[("lj", "single", 2048, 8)] == pytest.approx(170.0, rel=0.2)
+        assert data16.series[("lj", "double", 2048, 8)] == pytest.approx(121.6, rel=0.2)
+
+
+class TestHeadline:
+    def test_turnaround_numbers(self):
+        data = headline.generate()
+        assert data.series["cpu_ns_per_day"] == pytest.approx(2.0, rel=0.2)
+        assert data.series["gpu_ns_per_day"] == pytest.approx(2.8, rel=0.2)
+        assert data.series["gpu_ns_per_day"] > data.series["cpu_ns_per_day"]
+
+    def test_render(self):
+        out = headline.generate().render()
+        assert "ns/day" in out

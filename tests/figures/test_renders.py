@@ -1,0 +1,44 @@
+"""Render smoke tests: every figure module's text output is well-formed."""
+
+import importlib
+
+import pytest
+
+REDUCED_KWARGS = {
+    "fig03": dict(benchmarks=("lj",), sizes_k=(32,), ranks=(1, 8)),
+    "fig04": dict(benchmarks=("lj",), sizes_k=(32,), ranks=(8,)),
+    "fig05": dict(benchmarks=("lj",), sizes_k=(32,), ranks=(8,)),
+    "fig06": dict(benchmarks=("lj",), sizes_k=(32,), ranks=(1, 8)),
+    "fig07": dict(benchmarks=("lj",), sizes_k=(32,), gpus=(1, 2)),
+    "fig08": dict(benchmarks=("rhodo",), sizes_k=(32,), gpus=(2,)),
+    "fig09": dict(benchmarks=("lj",), sizes_k=(32,), gpus=(1, 2)),
+    "fig10": dict(sizes_k=(32,), ranks=(1, 8), thresholds=(1e-4, 1e-6)),
+    "fig11": dict(sizes_k=(32,), ranks=(8,), thresholds=(1e-4, 1e-6)),
+    "fig12": dict(sizes_k=(32,), ranks=(8,), thresholds=(1e-6,)),
+    "fig13": dict(sizes_k=(32,), gpus=(1, 2), thresholds=(1e-4, 1e-6)),
+    "fig14": dict(sizes_k=(32,), thresholds=(1e-4, 1e-6)),
+    "fig15": dict(benchmarks=("lj",), sizes_k=(32,), ranks=(8,)),
+    "fig16": dict(benchmarks=("lj",), sizes_k=(32,), gpus=(2,)),
+    "table2": {},
+    "table3": {},
+    "headline": {},
+}
+
+
+@pytest.mark.parametrize("name", sorted(REDUCED_KWARGS))
+def test_render_well_formed(name):
+    module = importlib.import_module(f"repro.figures.{name}")
+    data = module.generate(**REDUCED_KWARGS[name])
+    out = data.render()
+    lines = out.splitlines()
+    assert lines[0].startswith("===")
+    assert data.figure_id in lines[0]
+    assert len(lines) >= 3  # header + table
+    assert data.series  # never empty
+
+
+def test_render_without_renderer_is_header_only():
+    from repro.figures.base import FigureData
+
+    data = FigureData(figure_id="X", title="t")
+    assert data.render() == "=== X: t ==="

@@ -1,0 +1,136 @@
+"""Cross-layer integration scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregator import RunsTable
+from repro.core.artifact import ArtifactLayout
+from repro.core.experiment import ExperimentSpec, Mode
+from repro.core.runner import run_experiment
+from repro.md.computes import MeanSquaredDisplacement, RadialDistribution
+from repro.md.dump import XyzDumpWriter, read_xyz_frames
+from repro.parallel import simulate_cpu_run
+from repro.perfmodel.workloads import get_workload
+from repro.suite import get_benchmark
+
+
+class TestFunctionalPipeline:
+    """A complete production-style run: dynamics + analysis + output."""
+
+    def test_lj_run_with_dump_and_analysis(self, tmp_path):
+        sim = get_benchmark("lj").build(400)
+        sim.setup()
+        writer = XyzDumpWriter(tmp_path / "traj.xyz", every=20)
+        msd = MeanSquaredDisplacement(sim.system)
+        rdf = RadialDistribution(r_max=2.8, n_bins=56)
+
+        for step in range(1, 101):
+            sim.step()
+            if writer.should_dump(step):
+                writer.write_frame(sim.system, step)
+            if step % 25 == 0:
+                rdf.sample(sim.system)
+                msd.sample(sim.system, step * sim.dt)
+
+        # Trajectory on disk matches the final state.
+        frames = read_xyz_frames(tmp_path / "traj.xyz")
+        assert len(frames) == 5
+        assert np.allclose(frames[-1][1], sim.system.positions, atol=1e-7)
+        # Liquid structure: excluded core, first shell near sigma.
+        g = rdf.g_of_r()
+        r = rdf.bin_centers
+        assert g[r < 0.8].max() == 0.0
+        assert g.max() > 1.5
+        # The melt diffuses.
+        times, values = msd.series()
+        assert values[-1] > values[0]
+        # Energy stayed finite and the thermo log filled in.
+        assert np.isfinite(sim.total_energy())
+        assert len(sim.thermo) == 1  # default interval 100
+
+    def test_rhodo_full_stack_run(self):
+        """PPPM + SHAKE + NPT + bonded terms together, stable."""
+        sim = get_benchmark("rhodo").build(300)
+        sim.run(30)
+        assert sim.counts.kspace_grid_points > 0
+        assert sim.counts.shake_iterations > 0
+        assert sim.constraints.max_violation(sim.system) < 1e-3
+        breakdown = sim.task_breakdown()
+        assert breakdown["Kspace"] > 0
+        assert breakdown["Modify"] > 0
+
+
+class TestEngineModelConsistency:
+    """The performance model's workload inputs match what the engine
+    actually measures."""
+
+    def test_neighbors_per_atom(self):
+        for bench, tolerance in (("lj", 0.06), ("eam", 0.12)):
+            sim = get_benchmark(bench).build(500)
+            sim.setup()
+            measured = sim.neighbor.stats.last_neighbors_per_atom
+            modelled = get_workload(bench).neighbors_per_atom
+            assert measured == pytest.approx(modelled, rel=tolerance)
+
+    def test_pair_interactions_per_step(self):
+        sim = get_benchmark("lj").build(500)
+        sim.run(10)
+        measured = sim.counts.pair_interactions_per_step / sim.system.n_atoms
+        modelled = get_workload("lj").pair_interactions_per_atom()
+        assert measured == pytest.approx(modelled, rel=0.1)
+
+    def test_serial_breakdown_ordering_matches(self):
+        """Both layers agree Pair >> Neigh > Modify for a serial LJ run."""
+        sim = get_benchmark("lj").build(500)
+        sim.run(30)
+        engine = sim.task_breakdown()
+        model = simulate_cpu_run("lj", 2_048_000, 1).task_fractions()
+        for fractions in (engine, model):
+            assert fractions["Pair"] > fractions["Neigh"]
+            assert fractions["Pair"] > fractions["Modify"]
+            assert fractions["Pair"] > 0.5
+
+    def test_chute_full_list_accounting(self):
+        """Newton-off: the engine counts both pair directions, like the
+        model's un-halved pair work."""
+        sim = get_benchmark("chute").build(150)
+        sim.run(5)
+        stored_half_pairs = len(sim.neighbor.pair_i) / 2
+        per_step = sim.counts.pair_interactions_per_step
+        assert per_step >= stored_half_pairs  # both directions counted
+
+
+class TestCampaignPipeline:
+    def test_campaign_to_artifact_and_back(self, tmp_path):
+        table = RunsTable()
+        layout = ArtifactLayout(tmp_path)
+        for spec in (
+            ExperimentSpec("lj", "cpu", 32, 8, mode=Mode.PROFILING),
+            ExperimentSpec("lj", "cpu", 32, 16, mode=Mode.PROFILING),
+            ExperimentSpec("lj", "gpu", 32, 2, mode=Mode.PROFILING),
+        ):
+            record = run_experiment(spec)
+            table.add(record)
+            layout.write_profile(record)
+        layout.write_runs(table)
+
+        cpu_runs = layout.load_runs("cpu")
+        series = cpu_runs.series("ts_per_s", benchmark="lj", size_k=32)
+        assert series[1][1] > series[0][1]  # 16 ranks beat 8
+
+        profile = layout.load_profile("lj", 32, 8)
+        fresh = run_experiment(ExperimentSpec("lj", "cpu", 32, 8, mode=Mode.PROFILING))
+        assert profile["ts_per_s"] == pytest.approx(fresh.ts_per_s)
+
+    def test_runs_csv_roundtrip_preserves_metrics(self, tmp_path):
+        record = run_experiment(
+            ExperimentSpec("rhodo", "cpu", 32, 8, kspace_error=1e-6, mode=Mode.PROFILING)
+        )
+        table = RunsTable([record])
+        table.to_csv(tmp_path / "runs.csv")
+        loaded = RunsTable.from_csv(tmp_path / "runs.csv")
+        restored = next(iter(loaded))
+        assert restored.label == "rhodo-e-6"
+        assert restored.mpi_function_fractions == pytest.approx(
+            record.mpi_function_fractions
+        )

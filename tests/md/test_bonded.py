@@ -1,0 +1,161 @@
+"""Tests for bonded interactions: harmonic bond/angle and FENE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.atoms import AtomSystem, Topology
+from repro.md.bonded import FENEBond, HarmonicAngle, HarmonicBond
+from repro.md.box import Box
+
+from tests.conftest import finite_difference_forces
+
+
+def _bonded_system(positions, bonds, angles=None):
+    box = Box([20.0, 20.0, 20.0])
+    topo = Topology(
+        bonds=np.array(bonds, dtype=np.int64).reshape(-1, 2),
+        angles=np.empty((0, 3), dtype=np.int64)
+        if angles is None
+        else np.array(angles, dtype=np.int64),
+    )
+    return AtomSystem(np.array(positions, dtype=float), box, topology=topo)
+
+
+class TestHarmonicBond:
+    def test_zero_at_rest_length(self):
+        system = _bonded_system([[5, 5, 5], [6.2, 5, 5]], [[0, 1]])
+        result = HarmonicBond(k=10.0, r0=1.2).compute(system)
+        assert result.energy == pytest.approx(0.0, abs=1e-12)
+        assert np.allclose(system.forces, 0.0, atol=1e-12)
+
+    def test_lammps_energy_convention(self):
+        """E = K (r - r0)^2 with no 1/2 prefactor."""
+        system = _bonded_system([[5, 5, 5], [6.5, 5, 5]], [[0, 1]])
+        result = HarmonicBond(k=10.0, r0=1.0).compute(system)
+        assert result.energy == pytest.approx(10.0 * 0.25)
+
+    def test_stretched_bond_pulls_inward(self):
+        system = _bonded_system([[5, 5, 5], [6.5, 5, 5]], [[0, 1]])
+        HarmonicBond(k=10.0, r0=1.0).compute(system)
+        assert system.forces[0, 0] > 0
+        assert system.forces[1, 0] < 0
+
+    def test_per_type_coefficients(self):
+        box = Box([20, 20, 20])
+        topo = Topology(
+            bonds=np.array([[0, 1], [1, 2]]), bond_types=np.array([0, 1])
+        )
+        system = AtomSystem(
+            np.array([[5.0, 5, 5], [6.5, 5, 5], [8.0, 5, 5]]), box, topology=topo
+        )
+        bond = HarmonicBond(k=np.array([10.0, 20.0]), r0=np.array([1.0, 1.0]))
+        result = bond.compute(system)
+        assert result.energy == pytest.approx(10 * 0.25 + 20 * 0.25)
+
+    def test_bond_across_periodic_boundary(self):
+        system = _bonded_system([[0.4, 5, 5], [19.6, 5, 5]], [[0, 1]])
+        result = HarmonicBond(k=10.0, r0=0.8).compute(system)
+        assert result.energy == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_topology_noop(self):
+        box = Box([20, 20, 20])
+        system = AtomSystem(np.ones((3, 3)), box)
+        result = HarmonicBond().compute(system)
+        assert result.energy == 0.0 and result.interactions == 0
+
+
+class TestFENE:
+    def test_minimum_near_kremer_grest_bond_length(self):
+        """The FENE + WCA sum has its minimum near r = 0.97 sigma."""
+        fene = FENEBond()
+        r = np.linspace(0.8, 1.2, 400)
+        energies = []
+        for ri in r:
+            system = _bonded_system([[5, 5, 5], [5 + ri, 5, 5]], [[0, 1]])
+            energies.append(fene.compute(system).energy)
+        r_min = r[np.argmin(energies)]
+        assert r_min == pytest.approx(0.97, abs=0.02)
+
+    def test_overstretch_raises(self):
+        system = _bonded_system([[5, 5, 5], [6.6, 5, 5]], [[0, 1]])
+        with pytest.raises(FloatingPointError, match="overstretched"):
+            FENEBond(r0=1.5).compute(system)
+
+    def test_spring_is_attractive_beyond_wca(self):
+        system = _bonded_system([[5, 5, 5], [6.3, 5, 5]], [[0, 1]])
+        FENEBond().compute(system)
+        assert system.forces[0, 0] > 0  # pulled toward partner
+
+    @given(r=st.floats(0.85, 1.35))
+    @settings(max_examples=15, deadline=None)
+    def test_forces_match_finite_differences(self, r):
+        fene = FENEBond()
+        positions = np.array([[5.0, 5, 5], [5.0 + r, 5, 5]])
+
+        def energy(pos):
+            system = _bonded_system(pos, [[0, 1]])
+            return fene.compute(system).energy
+
+        system = _bonded_system(positions, [[0, 1]])
+        fene.compute(system)
+        reference = finite_difference_forces(energy, positions, h=1e-7)
+        scale = max(1.0, float(np.abs(reference).max()))
+        assert np.allclose(system.forces, reference, atol=1e-4 * scale)
+
+
+class TestHarmonicAngle:
+    def test_zero_at_equilibrium_angle(self):
+        theta0 = np.deg2rad(90.0)
+        system = _bonded_system(
+            [[6, 5, 5], [5, 5, 5], [5, 6, 5]], [], angles=[[0, 1, 2]]
+        )
+        result = HarmonicAngle(k=10.0, theta0=theta0).compute(system)
+        assert result.energy == pytest.approx(0.0, abs=1e-12)
+        assert np.allclose(system.forces, 0.0, atol=1e-10)
+
+    def test_energy_convention(self):
+        theta0 = np.deg2rad(120.0)
+        system = _bonded_system(
+            [[6, 5, 5], [5, 5, 5], [5, 6, 5]], [], angles=[[0, 1, 2]]
+        )
+        result = HarmonicAngle(k=10.0, theta0=theta0).compute(system)
+        expected = 10.0 * (np.pi / 2 - theta0) ** 2
+        assert result.energy == pytest.approx(expected)
+
+    def test_forces_sum_to_zero(self):
+        rng = np.random.default_rng(12)
+        positions = rng.uniform(4, 7, (3, 3))
+        system = _bonded_system(positions, [], angles=[[0, 1, 2]])
+        HarmonicAngle(k=5.0).compute(system)
+        assert np.allclose(system.forces.sum(axis=0), 0.0, atol=1e-10)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_forces_match_finite_differences(self, seed):
+        rng = np.random.default_rng(seed)
+        positions = np.array([[5.0, 5, 5], [6.0, 5, 5], [6.0, 6, 5]])
+        positions += rng.uniform(-0.3, 0.3, positions.shape)
+        angle = HarmonicAngle(k=7.0, theta0=np.deg2rad(100.0))
+
+        def energy(pos):
+            system = _bonded_system(pos, [], angles=[[0, 1, 2]])
+            return angle.compute(system).energy
+
+        system = _bonded_system(positions, [], angles=[[0, 1, 2]])
+        angle.compute(system)
+        reference = finite_difference_forces(energy, positions, h=1e-6)
+        scale = max(1.0, float(np.abs(reference).max()))
+        assert np.allclose(system.forces, reference, atol=1e-4 * scale)
+
+    def test_no_torque_on_isolated_triplet(self):
+        """Internal forces exert no net torque about the centre of mass."""
+        rng = np.random.default_rng(13)
+        positions = np.array([[5.0, 5, 5], [6.0, 5, 5], [6.0, 6, 5]])
+        positions += rng.uniform(-0.2, 0.2, positions.shape)
+        system = _bonded_system(positions, [], angles=[[0, 1, 2]])
+        HarmonicAngle(k=5.0).compute(system)
+        com = positions.mean(axis=0)
+        torque = np.sum(np.cross(positions - com, system.forces), axis=0)
+        assert np.allclose(torque, 0.0, atol=1e-10)

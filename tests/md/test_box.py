@@ -1,0 +1,141 @@
+"""Tests for the periodic simulation box."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.box import Box
+
+
+class TestConstruction:
+    def test_lengths_stored(self):
+        box = Box([1.0, 2.0, 3.0])
+        assert np.allclose(box.lengths, [1.0, 2.0, 3.0])
+
+    def test_default_fully_periodic(self):
+        assert Box([1, 1, 1]).periodic.all()
+
+    def test_non_positive_length_rejected(self):
+        with pytest.raises(ValueError):
+            Box([1.0, 0.0, 1.0])
+        with pytest.raises(ValueError):
+            Box([-1.0, 1.0, 1.0])
+
+    def test_volume(self):
+        assert Box([2.0, 3.0, 4.0]).volume == pytest.approx(24.0)
+
+    def test_upper_corner_with_origin(self):
+        box = Box([2.0, 2.0, 2.0], origin=[1.0, 1.0, 1.0])
+        assert np.allclose(box.upper, [3.0, 3.0, 3.0])
+
+    def test_copy_is_independent(self):
+        box = Box([2.0, 2.0, 2.0])
+        clone = box.copy()
+        clone.scale(2.0)
+        assert np.allclose(box.lengths, 2.0)
+        assert np.allclose(clone.lengths, 4.0)
+
+
+class TestWrap:
+    def test_wrap_inside_unchanged(self):
+        box = Box([10.0, 10.0, 10.0])
+        p = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(box.wrap(p), p)
+
+    def test_wrap_beyond_upper(self):
+        box = Box([10.0, 10.0, 10.0])
+        assert np.allclose(box.wrap(np.array([[11.0, 0.0, 0.0]])), [[1.0, 0.0, 0.0]])
+
+    def test_wrap_negative(self):
+        box = Box([10.0, 10.0, 10.0])
+        assert np.allclose(box.wrap(np.array([[-1.0, 0.0, 0.0]])), [[9.0, 0.0, 0.0]])
+
+    def test_non_periodic_dimension_passthrough(self):
+        box = Box([10.0, 10.0, 10.0], periodic=[True, True, False])
+        wrapped = box.wrap(np.array([[11.0, 0.0, 12.0]]))
+        assert np.allclose(wrapped, [[1.0, 0.0, 12.0]])
+
+    def test_wrap_with_images_counts_crossings(self):
+        box = Box([10.0, 10.0, 10.0])
+        images = np.zeros((1, 3), dtype=np.int64)
+        wrapped, images = box.wrap_with_images(np.array([[25.0, -5.0, 3.0]]), images)
+        assert np.allclose(wrapped, [[5.0, 5.0, 3.0]])
+        assert images.tolist() == [[2, -1, 0]]
+
+    def test_unwrap_roundtrip(self):
+        box = Box([10.0, 10.0, 10.0])
+        original = np.array([[25.0, -5.0, 3.0]])
+        images = np.zeros((1, 3), dtype=np.int64)
+        wrapped, images = box.wrap_with_images(original, images)
+        assert np.allclose(wrapped + images * box.lengths, original)
+
+
+class TestMinimumImage:
+    def test_short_displacement_unchanged(self):
+        box = Box([10.0, 10.0, 10.0])
+        dr = np.array([[1.0, -2.0, 3.0]])
+        assert np.allclose(box.minimum_image(dr), dr)
+
+    def test_long_displacement_folded(self):
+        box = Box([10.0, 10.0, 10.0])
+        assert np.allclose(box.minimum_image(np.array([[9.0, 0.0, 0.0]])), [[-1.0, 0.0, 0.0]])
+
+    def test_distance_across_boundary(self):
+        box = Box([10.0, 10.0, 10.0])
+        a = np.array([[0.5, 0.0, 0.0]])
+        b = np.array([[9.5, 0.0, 0.0]])
+        assert box.distance(a, b) == pytest.approx(1.0)
+
+    def test_non_periodic_not_folded(self):
+        box = Box([10.0, 10.0, 10.0], periodic=[False, True, True])
+        dr = np.array([[9.0, 9.0, 0.0]])
+        out = box.minimum_image(dr)
+        assert np.allclose(out, [[9.0, -1.0, 0.0]])
+
+    @given(
+        coords=st.lists(
+            st.tuples(
+                st.floats(-50, 50, allow_nan=False),
+                st.floats(-50, 50, allow_nan=False),
+                st.floats(-50, 50, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_minimum_image_bounded_by_half_box(self, coords):
+        """Property: folded components never exceed L/2 in magnitude."""
+        box = Box([7.0, 11.0, 13.0])
+        dr = np.array(coords, dtype=float)
+        folded = box.minimum_image(dr)
+        assert np.all(np.abs(folded) <= 0.5 * box.lengths + 1e-9)
+
+    @given(
+        x=st.floats(-100, 100, allow_nan=False),
+        y=st.floats(-100, 100, allow_nan=False),
+        z=st.floats(-100, 100, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_wrap_lands_inside_box(self, x, y, z):
+        box = Box([7.0, 11.0, 13.0])
+        wrapped = box.wrap(np.array([[x, y, z]]))
+        assert np.all(wrapped >= -1e-9)
+        assert np.all(wrapped <= box.lengths + 1e-9)
+
+
+class TestScale:
+    def test_isotropic_scale(self):
+        box = Box([2.0, 2.0, 2.0])
+        box.scale(1.5)
+        assert np.allclose(box.lengths, 3.0)
+
+    def test_anisotropic_scale(self):
+        box = Box([2.0, 2.0, 2.0])
+        box.scale(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(box.lengths, [2.0, 4.0, 6.0])
+
+    def test_non_positive_factor_rejected(self):
+        with pytest.raises(ValueError):
+            Box([1, 1, 1]).scale(0.0)

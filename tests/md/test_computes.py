@@ -1,0 +1,126 @@
+"""Tests for the analysis computes (RDF, MSD, VACF)."""
+
+import numpy as np
+import pytest
+
+from repro.md import LennardJonesCut, Simulation
+from repro.md.atoms import AtomSystem
+from repro.md.box import Box
+from repro.md.computes import (
+    MeanSquaredDisplacement,
+    RadialDistribution,
+    VelocityAutocorrelation,
+)
+from repro.md.lattice import fcc_positions, lj_melt_system
+
+
+class TestRadialDistribution:
+    def test_ideal_gas_is_flat(self):
+        """Uncorrelated particles give g(r) ~ 1 everywhere."""
+        rng = np.random.default_rng(61)
+        box = Box([12.0, 12.0, 12.0])
+        rdf = RadialDistribution(r_max=5.0, n_bins=25)
+        for _ in range(30):
+            system = AtomSystem(rng.uniform(0, 12, (300, 3)), box)
+            rdf.sample(system)
+        g = rdf.g_of_r()
+        # Skip the first noisy bins (few counts at tiny r).
+        assert np.allclose(g[5:], 1.0, atol=0.15)
+
+    def test_crystal_shows_shell_peaks(self):
+        positions, box = fcc_positions(4, 2.0)
+        system = AtomSystem(positions, box)
+        rdf = RadialDistribution(r_max=3.4, n_bins=68)
+        rdf.sample(system)
+        g = rdf.g_of_r()
+        r = rdf.bin_centers
+        # Nearest-neighbour shell at a/sqrt(2) ~ 1.414.
+        nn_bin = np.argmin(np.abs(r - 2.0 / np.sqrt(2.0)))
+        assert g[nn_bin : nn_bin + 1].max() > 5.0
+        # Excluded region below the first shell.
+        assert g[r < 1.2].max() == 0.0
+
+    def test_lj_melt_first_peak_near_sigma(self):
+        system = lj_melt_system(500, seed=3)
+        sim = Simulation(system, [LennardJonesCut(cutoff=2.5)], dt=0.005)
+        sim.run(100)  # melt the lattice
+        rdf = RadialDistribution(r_max=3.0, n_bins=60)
+        rdf.sample(system)
+        g = rdf.g_of_r()
+        peak_r = rdf.bin_centers[np.argmax(g)]
+        assert 0.95 < peak_r < 1.3  # liquid LJ first shell
+
+    def test_rmax_guard(self):
+        box = Box([6.0, 6.0, 6.0])
+        system = AtomSystem(np.ones((4, 3)), box)
+        rdf = RadialDistribution(r_max=5.0)
+        with pytest.raises(ValueError, match="minimum-image"):
+            rdf.sample(system)
+
+    def test_no_samples_raises(self):
+        with pytest.raises(RuntimeError):
+            RadialDistribution(r_max=2.0).g_of_r()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RadialDistribution(r_max=0.0)
+
+
+class TestMsd:
+    def test_zero_at_start(self):
+        system = lj_melt_system(200, seed=5)
+        msd = MeanSquaredDisplacement(system)
+        assert msd.sample(system, 0.0) == pytest.approx(0.0)
+
+    def test_ballistic_free_flight(self):
+        """Free particles: MSD = <v^2> t^2 exactly."""
+        rng = np.random.default_rng(67)
+        box = Box([50.0, 50.0, 50.0])
+        system = AtomSystem(rng.uniform(0, 50, (100, 3)), box)
+        system.velocities = rng.normal(size=(100, 3))
+        msd = MeanSquaredDisplacement(system)
+        t = 2.0
+        system.positions += system.velocities * t
+        system.wrap()
+        expected = float(np.mean(np.sum((system.velocities * t) ** 2, axis=1)))
+        assert msd.sample(system, t) == pytest.approx(expected, rel=1e-10)
+
+    def test_melt_diffuses_crystal_does_not(self):
+        melt = lj_melt_system(256, temperature=1.44, seed=7)
+        sim = Simulation(melt, [LennardJonesCut(cutoff=2.5)], dt=0.005)
+        sim.run(150)  # melt first
+        msd = MeanSquaredDisplacement(melt)
+        sim.run(300)
+        melt_msd = msd.sample(melt, 1.5)
+        assert melt_msd > 0.05  # diffusing liquid
+
+    def test_series(self):
+        system = lj_melt_system(100, seed=8)
+        msd = MeanSquaredDisplacement(system)
+        msd.sample(system, 0.0)
+        msd.sample(system, 1.0)
+        times, values = msd.series()
+        assert times.tolist() == [0.0, 1.0]
+        assert len(values) == 2
+
+
+class TestVacf:
+    def test_unity_at_start(self):
+        system = lj_melt_system(200, seed=9)
+        vacf = VelocityAutocorrelation(system)
+        assert vacf.sample(system, 0.0) == pytest.approx(1.0)
+
+    def test_decorrelates_in_a_melt(self):
+        system = lj_melt_system(256, temperature=1.44, seed=10)
+        sim = Simulation(system, [LennardJonesCut(cutoff=2.5)], dt=0.005)
+        sim.run(100)
+        vacf = VelocityAutocorrelation(system)
+        sim.run(400)
+        late = vacf.sample(system, 2.0)
+        assert abs(late) < 0.5  # collisions randomize velocities
+
+    def test_zero_velocities_rejected(self):
+        box = Box([10, 10, 10])
+        system = AtomSystem(np.ones((5, 3)), box)
+        with pytest.raises(ValueError):
+            VelocityAutocorrelation(system)

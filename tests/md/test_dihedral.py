@@ -1,0 +1,117 @@
+"""Tests for the CHARMM-style cosine dihedral term."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.atoms import AtomSystem
+from repro.md.bonded import CosineDihedral
+from repro.md.box import Box
+
+from tests.conftest import finite_difference_forces
+
+
+def _quad_system(positions):
+    return AtomSystem(np.asarray(positions, dtype=float), Box([20.0, 20.0, 20.0]))
+
+
+def _bent_quad(rng=None, jitter=0.0):
+    positions = np.array(
+        [[5.0, 5, 5], [6.0, 5, 5], [6.3, 6, 5], [7.0, 6.2, 5.8]]
+    )
+    if rng is not None:
+        positions = positions + rng.uniform(-jitter, jitter, positions.shape)
+    return positions
+
+
+class TestGeometry:
+    def test_planar_trans_is_pi(self):
+        """A perfectly trans (zig-zag planar) quadruple has |phi| = pi."""
+        positions = [[0.0, 0, 0], [1.0, 1, 0], [2.0, 0, 0], [3.0, 1, 0]]
+        dih = CosineDihedral(np.array([[0, 1, 2, 3]]))
+        phi = dih.dihedral_angles(_quad_system(positions))[0]
+        assert abs(abs(phi) - np.pi) < 1e-12
+
+    def test_planar_cis_is_zero(self):
+        positions = [[0.0, 1, 0], [1.0, 0, 0], [2.0, 0, 0], [3.0, 1, 0]]
+        dih = CosineDihedral(np.array([[0, 1, 2, 3]]))
+        phi = dih.dihedral_angles(_quad_system(positions))[0]
+        assert abs(phi) < 1e-12
+
+    def test_right_angle(self):
+        positions = [[0.0, 1, 0], [0.0, 0, 0], [1.0, 0, 0], [1.0, 0, 1]]
+        dih = CosineDihedral(np.array([[0, 1, 2, 3]]))
+        phi = dih.dihedral_angles(_quad_system(positions))[0]
+        assert abs(abs(phi) - np.pi / 2) < 1e-12
+
+
+class TestEnergyAndForces:
+    def test_energy_at_phase_minimum(self):
+        """E = K(1 + cos(n phi - d)) is zero when n phi - d = pi."""
+        positions = [[0.0, 1, 0], [1.0, 0, 0], [2.0, 0, 0], [3.0, 1, 0]]  # phi = 0
+        dih = CosineDihedral(np.array([[0, 1, 2, 3]]), k=3.0, multiplicity=1,
+                             phase=np.pi)
+        result = dih.compute(_quad_system(positions))
+        assert result.energy == pytest.approx(0.0, abs=1e-12)
+
+    def test_energy_at_phase_maximum(self):
+        positions = [[0.0, 1, 0], [1.0, 0, 0], [2.0, 0, 0], [3.0, 1, 0]]  # phi = 0
+        dih = CosineDihedral(np.array([[0, 1, 2, 3]]), k=3.0, multiplicity=1,
+                             phase=0.0)
+        result = dih.compute(_quad_system(positions))
+        assert result.energy == pytest.approx(6.0)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_forces_match_finite_differences(self, seed):
+        rng = np.random.default_rng(seed)
+        positions = _bent_quad(rng, jitter=0.25)
+        dih = CosineDihedral(
+            np.array([[0, 1, 2, 3]]), k=2.0, multiplicity=3, phase=0.3
+        )
+
+        def energy(pos):
+            return dih.compute(_quad_system(pos)).energy
+
+        system = _quad_system(positions)
+        dih.compute(system)
+        reference = finite_difference_forces(energy, positions, h=1e-6)
+        scale = max(1.0, float(np.abs(reference).max()))
+        assert np.allclose(system.forces, reference, atol=1e-5 * scale)
+
+    def test_forces_sum_to_zero(self):
+        rng = np.random.default_rng(77)
+        system = _quad_system(_bent_quad(rng, jitter=0.3))
+        CosineDihedral(np.array([[0, 1, 2, 3]]), k=5.0).compute(system)
+        assert np.allclose(system.forces.sum(axis=0), 0.0, atol=1e-12)
+
+    def test_no_net_torque(self):
+        rng = np.random.default_rng(79)
+        positions = _bent_quad(rng, jitter=0.3)
+        system = _quad_system(positions)
+        CosineDihedral(np.array([[0, 1, 2, 3]]), k=5.0).compute(system)
+        com = positions.mean(axis=0)
+        torque = np.sum(np.cross(positions - com, system.forces), axis=0)
+        assert np.allclose(torque, 0.0, atol=1e-10)
+
+    def test_multiple_dihedrals_vectorized(self):
+        rng = np.random.default_rng(81)
+        positions = np.vstack([_bent_quad(), _bent_quad() + [5.0, 0, 0]])
+        positions += rng.uniform(-0.1, 0.1, positions.shape)
+        system = AtomSystem(positions, Box([30.0, 30.0, 30.0]))
+        dih = CosineDihedral(np.array([[0, 1, 2, 3], [4, 5, 6, 7]]), k=2.0)
+        result = dih.compute(system)
+        assert result.interactions == 2
+        assert result.energy > 0
+
+    def test_empty_is_noop(self):
+        system = _quad_system(_bent_quad())
+        result = CosineDihedral(np.empty((0, 4))).compute(system)
+        assert result.energy == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CosineDihedral(np.array([[0, 1, 2, 3]]), k=-1.0)
+        with pytest.raises(ValueError):
+            CosineDihedral(np.array([[0, 1, 2, 3]]), multiplicity=0)

@@ -1,0 +1,66 @@
+"""Tests for the XYZ trajectory dump writer."""
+
+import numpy as np
+import pytest
+
+from repro.md.atoms import AtomSystem
+from repro.md.box import Box
+from repro.md.dump import XyzDumpWriter, read_xyz_frames
+
+
+@pytest.fixture
+def system():
+    rng = np.random.default_rng(71)
+    box = Box([10.0, 10.0, 10.0])
+    return AtomSystem(
+        rng.uniform(0, 10, (8, 3)), box, types=[0, 0, 1, 1, 2, 2, 0, 1]
+    )
+
+
+class TestWriter:
+    def test_round_trip(self, system, tmp_path):
+        writer = XyzDumpWriter(tmp_path / "traj.xyz", every=10)
+        writer.write_frame(system, 0)
+        system.positions += 0.1
+        system.wrap()
+        writer.write_frame(system, 10)
+        frames = read_xyz_frames(tmp_path / "traj.xyz")
+        assert [step for step, _ in frames] == [0, 10]
+        assert np.allclose(frames[1][1], system.positions, atol=1e-7)
+        assert writer.frames_written == 2
+
+    def test_dump_interval(self, tmp_path):
+        writer = XyzDumpWriter(tmp_path / "t.xyz", every=5)
+        assert writer.should_dump(5)
+        assert writer.should_dump(10)
+        assert not writer.should_dump(7)
+
+    def test_disabled_dump(self, tmp_path):
+        writer = XyzDumpWriter(tmp_path / "t.xyz", every=0)
+        assert not writer.should_dump(100)
+
+    def test_negative_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            XyzDumpWriter(tmp_path / "t.xyz", every=-1)
+
+    def test_truncates_previous_trajectory(self, system, tmp_path):
+        path = tmp_path / "traj.xyz"
+        first = XyzDumpWriter(path)
+        first.write_frame(system, 0)
+        second = XyzDumpWriter(path)
+        second.write_frame(system, 99)
+        frames = read_xyz_frames(path)
+        assert [step for step, _ in frames] == [99]
+
+    def test_lattice_header_contains_box(self, system, tmp_path):
+        path = tmp_path / "traj.xyz"
+        XyzDumpWriter(path).write_frame(system, 0)
+        content = path.read_text()
+        assert 'Lattice="10.0 0.0 0.0' in content
+
+    def test_species_from_types(self, system, tmp_path):
+        path = tmp_path / "traj.xyz"
+        XyzDumpWriter(path).write_frame(system, 0)
+        body = path.read_text().splitlines()[2:]
+        species = {line.split()[0] for line in body}
+        assert species == {"A", "B", "C"}

@@ -1,0 +1,73 @@
+"""Failure-injection tests: the engine fails loudly, not silently."""
+
+import numpy as np
+import pytest
+
+from repro.md import LennardJonesCut, Simulation
+from repro.md.atoms import AtomSystem
+from repro.md.box import Box
+from repro.md.lattice import lj_melt_system
+
+
+class TestBlowUpDetection:
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_overlapping_atoms_with_huge_timestep_raise(self):
+        """Two nearly-coincident atoms + a large dt must raise, not
+        silently produce a NaN trajectory."""
+        box = Box([10.0, 10.0, 10.0])
+        system = AtomSystem(
+            np.array([[5.0, 5.0, 5.0], [5.0 + 1e-7, 5.0, 5.0], [7.0, 5.0, 5.0]]),
+            box,
+        )
+        sim = Simulation(system, [LennardJonesCut(cutoff=2.5)], dt=10.0)
+        with pytest.raises(FloatingPointError, match="blew up|overstretched"):
+            sim.run(50)
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_injected_nan_position_detected(self):
+        sim = Simulation(
+            lj_melt_system(256, seed=31), [LennardJonesCut(cutoff=2.5)], dt=0.005
+        )
+        sim.run(2)
+        sim.system.positions[0, 0] = np.nan
+        with pytest.raises((FloatingPointError, ValueError)):
+            sim.run(3)
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_injected_inf_velocity_detected(self):
+        sim = Simulation(
+            lj_melt_system(256, seed=33), [LennardJonesCut(cutoff=2.5)], dt=0.005
+        )
+        sim.run(2)
+        sim.system.velocities[0] = [np.inf, 0.0, 0.0]
+        with pytest.raises((FloatingPointError, ValueError)):
+            sim.run(3)
+
+    def test_healthy_run_not_flagged(self):
+        sim = Simulation(
+            lj_melt_system(256, seed=35), [LennardJonesCut(cutoff=2.5)], dt=0.005
+        )
+        sim.run(50)  # no spurious failure
+        assert np.isfinite(sim.total_energy())
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_error_message_names_the_step(self):
+        box = Box([10.0, 10.0, 10.0])
+        system = AtomSystem(
+            np.array([[5.0, 5.0, 5.0], [5.0 + 1e-7, 5.0, 5.0], [7.0, 5.0, 5.0]]),
+            box,
+        )
+        sim = Simulation(system, [LennardJonesCut(cutoff=2.5)], dt=10.0)
+        with pytest.raises(FloatingPointError, match="step"):
+            sim.run(20)
+
+
+class TestFeneGuard:
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_overstretch_names_the_cause(self):
+        from repro.suite import get_benchmark
+
+        sim = get_benchmark("chain").build(200)
+        sim.dt = 1.0  # catastrophically large
+        with pytest.raises(FloatingPointError):
+            sim.run(30)

@@ -1,0 +1,113 @@
+"""Tests for fixes: Langevin thermostat, gravity, bottom wall."""
+
+import numpy as np
+import pytest
+
+from repro.md import LangevinThermostat, LennardJonesCut, Simulation
+from repro.md.atoms import AtomSystem
+from repro.md.box import Box
+from repro.md.fixes import BottomWall, Gravity
+from repro.md.lattice import lj_melt_system
+
+
+class TestLangevin:
+    def test_equilibrates_to_target_temperature(self):
+        system = lj_melt_system(256, temperature=0.2, seed=101)
+        rng = np.random.default_rng(102)
+        sim = Simulation(
+            system,
+            [LennardJonesCut(cutoff=2.5)],
+            fixes=[LangevinThermostat(1.0, damp=0.5, rng=rng)],
+            dt=0.004,
+            skin=0.3,
+        )
+        sim.setup()
+        sim.run(800)
+        temps = []
+        for _ in range(10):
+            sim.run(30)
+            temps.append(system.temperature())
+        assert np.mean(temps) == pytest.approx(1.0, rel=0.2)
+
+    def test_drag_opposes_velocity_at_zero_temperature(self):
+        box = Box([10, 10, 10])
+        system = AtomSystem(np.array([[5.0, 5, 5]]), box)
+        system.velocities[0] = [2.0, 0.0, 0.0]
+        fix = LangevinThermostat(0.0, damp=1.0, rng=np.random.default_rng(1))
+        fix.post_force(system, dt=0.01, step=1)
+        assert system.forces[0, 0] == pytest.approx(-2.0)
+
+    def test_invalid_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            LangevinThermostat(-1.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            LangevinThermostat(1.0, 0.0, rng)
+
+
+class TestGravity:
+    def test_chute_tilt_decomposition(self):
+        g = Gravity(magnitude=1.0, chute_angle_deg=26.0)
+        assert g.vector[0] == pytest.approx(np.sin(np.radians(26.0)))
+        assert g.vector[2] == pytest.approx(-np.cos(np.radians(26.0)))
+        assert g.vector[1] == 0.0
+
+    def test_force_proportional_to_mass(self):
+        box = Box([10, 10, 10], periodic=[True, True, False])
+        system = AtomSystem(np.array([[5.0, 5, 5], [6.0, 5, 5]]), box, masses=[1.0, 3.0])
+        Gravity(1.0, 0.0).post_force(system, 0.01, 1)
+        assert system.forces[1, 2] == pytest.approx(3.0 * system.forces[0, 2] / 1.0)
+
+    def test_negative_magnitude_rejected(self):
+        with pytest.raises(ValueError):
+            Gravity(-1.0)
+
+
+class TestBottomWall:
+    def test_overlapping_particle_pushed_up(self):
+        box = Box([10, 10, 10], periodic=[True, True, False])
+        system = AtomSystem(np.array([[5.0, 5.0, 0.3]]), box, radii=0.5)
+        BottomWall(k=100.0, gamma=0.0).post_force(system, 0.01, 1)
+        assert system.forces[0, 2] == pytest.approx(100.0 * 0.2)
+
+    def test_clear_particle_untouched(self):
+        box = Box([10, 10, 10], periodic=[True, True, False])
+        system = AtomSystem(np.array([[5.0, 5.0, 2.0]]), box, radii=0.5)
+        BottomWall().post_force(system, 0.01, 1)
+        assert np.allclose(system.forces, 0.0)
+
+    def test_damping_resists_impact_velocity(self):
+        box = Box([10, 10, 10], periodic=[True, True, False])
+        system = AtomSystem(np.array([[5.0, 5.0, 0.45]]), box, radii=0.5)
+        system.velocities[0, 2] = -1.0
+        spring_only = BottomWall(k=100.0, gamma=0.0)
+        spring_only.post_force(system, 0.01, 1)
+        f_spring = system.forces[0, 2]
+        system.forces[:] = 0.0
+        damped = BottomWall(k=100.0, gamma=10.0)
+        damped.post_force(system, 0.01, 1)
+        assert system.forces[0, 2] > f_spring  # damping adds upward push
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            BottomWall(dim=3)
+
+    def test_wall_keeps_falling_grain_in_box(self):
+        """Gravity + wall: a dropped grain settles near the floor."""
+        from repro.md.integrators import VelocityVerletNVE
+
+        box = Box([10, 10, 10], periodic=[True, True, False])
+        system = AtomSystem(np.array([[5.0, 5.0, 2.0]]), box, radii=0.5)
+        gravity = Gravity(1.0, chute_angle_deg=0.0)
+        wall = BottomWall(k=1000.0, gamma=20.0)
+        integrator = VelocityVerletNVE()
+        dt = 1e-3
+        for step in range(20000):
+            integrator.initial_integrate(system, dt)
+            system.forces[:] = 0.0
+            system.torques[:] = 0.0
+            gravity.post_force(system, dt, step)
+            wall.post_force(system, dt, step)
+            integrator.final_integrate(system, dt)
+        assert 0.3 < system.positions[0, 2] < 0.7
+        assert abs(system.velocities[0, 2]) < 0.05

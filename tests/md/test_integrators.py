@@ -1,0 +1,130 @@
+"""Tests for NVE / Nose-Hoover NVT / NPT integrators."""
+
+import numpy as np
+import pytest
+
+from repro.md import LennardJonesCut, NoseHooverNPT, NoseHooverNVT, Simulation
+from repro.md.integrators import VelocityVerletNVE
+from repro.md.lattice import lj_melt_system
+
+
+def _lj_sim(n=256, integrator=None, dt=0.005, temperature=1.0):
+    system = lj_melt_system(n, temperature=temperature, seed=99)
+    return Simulation(
+        system,
+        [LennardJonesCut(cutoff=2.5)],
+        integrator=integrator,
+        dt=dt,
+        skin=0.3,
+    )
+
+
+class TestNVE:
+    def test_energy_conserved(self):
+        sim = _lj_sim(temperature=1.44)
+        sim.setup()
+        e0 = sim.total_energy()
+        sim.run(300)
+        assert sim.total_energy() == pytest.approx(e0, rel=2e-4)
+
+    def test_energy_drift_shrinks_with_timestep(self):
+        """Velocity Verlet is ~O(dt^2): halving dt should cut the drift."""
+        drifts = []
+        for dt in (0.005, 0.00125):
+            sim = _lj_sim(dt=dt, temperature=1.44)
+            sim.setup()
+            e0 = sim.total_energy()
+            sim.run(int(0.5 / dt))  # same simulated time
+            drifts.append(abs(sim.total_energy() - e0))
+        assert drifts[1] < drifts[0]
+
+    def test_momentum_conserved(self):
+        sim = _lj_sim()
+        sim.setup()
+        p0 = sim.system.momentum()
+        sim.run(100)
+        assert np.allclose(sim.system.momentum(), p0, atol=1e-9)
+
+    def test_still_system_stays_still_without_forces(self):
+        from repro.md.atoms import AtomSystem
+        from repro.md.box import Box
+
+        system = AtomSystem(np.array([[1.0, 1, 1], [5.0, 5, 5]]), Box([10, 10, 10]))
+        integrator = VelocityVerletNVE()
+        integrator.initial_integrate(system, 0.01)
+        integrator.final_integrate(system, 0.01)
+        assert np.allclose(system.velocities, 0.0)
+
+
+class TestNVT:
+    def test_temperature_regulated(self):
+        target = 0.9
+        sim = _lj_sim(
+            n=256,
+            integrator=NoseHooverNVT(temperature=target, t_damp=0.5),
+            temperature=1.4,
+        )
+        sim.setup()
+        sim.run(800)
+        temps = [sim.system.temperature()]
+        for _ in range(10):
+            sim.run(30)
+            temps.append(sim.system.temperature())
+        assert np.mean(temps) == pytest.approx(target, rel=0.15)
+
+    def test_heats_cold_start(self):
+        sim = _lj_sim(
+            n=256, integrator=NoseHooverNVT(temperature=1.0, t_damp=0.3), temperature=0.1
+        )
+        sim.setup()
+        sim.run(600)
+        assert sim.system.temperature() > 0.5
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NoseHooverNVT(temperature=-1.0, t_damp=1.0)
+        with pytest.raises(ValueError):
+            NoseHooverNVT(temperature=1.0, t_damp=0.0)
+
+
+class TestNPT:
+    def test_box_responds_to_pressure_gap(self):
+        """A system way above target pressure must expand its box."""
+        integ = NoseHooverNPT(temperature=1.0, t_damp=0.5, pressure=0.0, p_damp=2.0)
+        sim = _lj_sim(n=256, integrator=integ, temperature=1.2)
+        v0 = sim.system.box.volume
+        sim.setup()
+        sim.run(400)
+        # LJ at rho 0.8442, T~1 has strongly positive pressure.
+        assert sim.system.box.volume > v0
+
+    def test_strain_rate_capped(self):
+        integ = NoseHooverNPT(temperature=1.0, t_damp=0.5, pressure=0.0, p_damp=0.01)
+        integ.set_virial(1e12)  # absurd pressure spike
+        sim = _lj_sim(n=256, integrator=integ)
+        sim.setup()
+        sim.run(5)  # must not overflow
+        assert np.isfinite(sim.system.box.volume)
+
+    def test_pressure_readout(self):
+        integ = NoseHooverNPT(temperature=1.0, t_damp=0.5, pressure=0.0, p_damp=5.0)
+        sim = _lj_sim(n=256, integrator=integ)
+        sim.setup()
+        assert np.isfinite(integ.current_pressure(sim.system))
+
+    def test_invalid_p_damp_rejected(self):
+        with pytest.raises(ValueError):
+            NoseHooverNPT(temperature=1.0, t_damp=1.0, pressure=0.0, p_damp=0.0)
+
+
+class TestGranularIntegration:
+    def test_angular_velocity_advanced_by_torque(self):
+        from repro.md.atoms import AtomSystem
+        from repro.md.box import Box
+
+        box = Box([10, 10, 10], periodic=[True, True, False])
+        system = AtomSystem(np.array([[5.0, 5, 5]]), box, radii=0.5)
+        system.torques[0] = [0.0, 0.0, 1.0]
+        VelocityVerletNVE().initial_integrate(system, 0.1)
+        # I = 2/5 m R^2 = 0.1 ; d(omega) = tau / I * dt / 2 = 0.5
+        assert system.omega[0, 2] == pytest.approx(0.5)

@@ -1,0 +1,137 @@
+"""Tests for the LAMMPS-style k-space accuracy machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.kspace.error import (
+    ACONS,
+    estimate_alpha,
+    estimate_kspace_error,
+    estimate_real_space_error,
+    good_fft_size,
+    select_grid,
+)
+
+
+class TestAcons:
+    def test_orders_one_to_seven_present(self):
+        assert set(ACONS) == {1, 2, 3, 4, 5, 6, 7}
+
+    def test_row_lengths_match_order(self):
+        for order, row in ACONS.items():
+            assert len(row) == order
+
+    def test_spot_values_from_lammps(self):
+        assert ACONS[1][0] == pytest.approx(2 / 3)
+        assert ACONS[5][0] == pytest.approx(1 / 23232)
+        assert ACONS[7][-1] == pytest.approx(4887769399 / 37838389248)
+
+
+class TestAlpha:
+    def test_tighter_accuracy_raises_alpha(self):
+        assert estimate_alpha(1e-7, 10.0) > estimate_alpha(1e-4, 10.0)
+
+    def test_longer_cutoff_lowers_alpha(self):
+        assert estimate_alpha(1e-4, 12.0) < estimate_alpha(1e-4, 10.0)
+
+    def test_known_value(self):
+        # (1.35 - 0.15 ln(1e-4)) / 10
+        expected = (1.35 - 0.15 * np.log(1e-4)) / 10.0
+        assert estimate_alpha(1e-4, 10.0) == pytest.approx(expected)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_alpha(0.0, 10.0)
+        with pytest.raises(ValueError):
+            estimate_alpha(1e-4, 0.0)
+
+
+class TestRealSpaceError:
+    def test_decreases_with_alpha(self):
+        args = dict(cutoff=10.0, n_atoms=1000, qsqsum=1000.0, volume=1e4)
+        assert estimate_real_space_error(0.4, **args) < estimate_real_space_error(
+            0.3, **args
+        )
+
+    def test_decreases_with_cutoff(self):
+        args = dict(alpha=0.3, n_atoms=1000, qsqsum=1000.0, volume=1e4)
+        assert estimate_real_space_error(cutoff=12.0, **args) < estimate_real_space_error(
+            cutoff=10.0, **args
+        )
+
+    def test_positive_arguments_required(self):
+        with pytest.raises(ValueError):
+            estimate_real_space_error(0.0, 10.0, 100, 1.0, 1.0)
+
+
+class TestKspaceError:
+    def test_finer_grid_reduces_error(self):
+        coarse = estimate_kspace_error(2.0, 100.0, 0.3, 32000, 1e4, order=5)
+        fine = estimate_kspace_error(1.0, 100.0, 0.3, 32000, 1e4, order=5)
+        assert fine < coarse
+
+    def test_higher_order_reduces_error(self):
+        e3 = estimate_kspace_error(1.0, 100.0, 0.3, 32000, 1e4, order=3)
+        e5 = estimate_kspace_error(1.0, 100.0, 0.3, 32000, 1e4, order=5)
+        assert e5 < e3
+
+    def test_unsupported_order_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_kspace_error(1.0, 100.0, 0.3, 32000, 1e4, order=8)
+
+    @given(h=st.floats(0.5, 3.0))
+    @settings(max_examples=20, deadline=None)
+    def test_error_positive(self, h):
+        assert estimate_kspace_error(h, 100.0, 0.3, 32000, 1e4, order=5) > 0
+
+
+class TestGoodFftSize:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 1), (7, 8), (8, 8), (11, 12), (13, 15), (97, 100), (101, 108)]
+    )
+    def test_values(self, n, expected):
+        assert good_fft_size(n) == expected
+
+    @given(n=st.integers(1, 2000))
+    @settings(max_examples=50, deadline=None)
+    def test_result_has_only_small_factors(self, n):
+        size = good_fft_size(n)
+        assert size >= n
+        m = size
+        for f in (2, 3, 5):
+            while m % f == 0:
+                m //= f
+        assert m == 1
+
+
+class TestSelectGrid:
+    def test_grid_grows_with_accuracy(self):
+        box = np.array([100.0, 100.0, 100.0])
+        _, coarse = select_grid(1e-4, box, 10.0, 32000, 32000 * 119.0)
+        _, fine = select_grid(1e-7, box, 10.0, 32000, 32000 * 119.0)
+        assert np.prod(fine) > np.prod(coarse)
+
+    def test_grid_grows_with_system(self):
+        small_box = np.array([68.0] * 3)
+        big_box = np.array([273.0] * 3)
+        _, small = select_grid(1e-4, small_box, 10.0, 32000, 32000 * 119.0)
+        _, big = select_grid(1e-4, big_box, 10.0, 2048000, 2048000 * 119.0)
+        assert np.prod(big) > np.prod(small)
+
+    def test_anisotropic_box_anisotropic_grid(self):
+        box = np.array([200.0, 100.0, 100.0])
+        _, grid = select_grid(1e-4, box, 10.0, 32000, 32000.0)
+        assert grid[0] > grid[1]
+
+    def test_selected_grid_meets_threshold(self):
+        box = np.array([100.0, 100.0, 100.0])
+        accuracy = 1e-5
+        alpha, grid = select_grid(
+            accuracy, box, 10.0, 32000, 32000 * 119.0, two_charge_force=332.06
+        )
+        err = estimate_kspace_error(
+            box[0] / grid[0], box[0], alpha, 32000, 32000 * 119.0, order=5
+        )
+        assert err <= accuracy * 332.06

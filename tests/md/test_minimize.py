@@ -1,0 +1,103 @@
+"""Tests for the steepest-descent minimizer and LJ tail corrections."""
+
+import numpy as np
+import pytest
+
+from repro.md import LennardJonesCut, Simulation
+from repro.md.atoms import AtomSystem
+from repro.md.box import Box
+from repro.md.lattice import fcc_positions, lj_melt_system
+from repro.md.minimize import minimize
+from repro.md.potentials.lj import LennardJonesCut as LJ
+
+
+class TestMinimizer:
+    def test_dimer_relaxes_to_lj_minimum(self):
+        box = Box([20.0, 20.0, 20.0])
+        system = AtomSystem(np.array([[9.0, 10, 10], [10.3, 10, 10]]), box)
+        sim = Simulation(system, [LennardJonesCut(cutoff=2.5, shift=False)], dt=0.001)
+        result = minimize(sim, force_tolerance=1e-6, max_iterations=2000)
+        r = float(np.linalg.norm(system.positions[0] - system.positions[1]))
+        assert result.converged
+        assert r == pytest.approx(2.0 ** (1 / 6), abs=1e-3)
+        assert result.final_energy == pytest.approx(-1.0, abs=1e-4)
+
+    def test_energy_never_increases(self):
+        system = lj_melt_system(256, temperature=0.0, seed=91)
+        rng = np.random.default_rng(92)
+        system.positions += rng.normal(0, 0.05, system.positions.shape)
+        sim = Simulation(system, [LennardJonesCut(cutoff=2.5)], dt=0.001)
+        result = minimize(sim, max_iterations=60)
+        assert result.final_energy <= result.initial_energy
+
+    def test_perturbed_crystal_relaxes_back(self):
+        positions, box = fcc_positions(4, 1.5874)  # near LJ fcc equilibrium
+        rng = np.random.default_rng(93)
+        system = AtomSystem(positions + rng.normal(0, 0.03, positions.shape), box)
+        sim = Simulation(system, [LennardJonesCut(cutoff=2.5)], dt=0.001)
+        result = minimize(sim, force_tolerance=1e-3, max_iterations=300)
+        assert result.max_force < 1e-3
+        assert result.converged
+
+    def test_already_minimal_converges_immediately(self):
+        box = Box([20.0, 20.0, 20.0])
+        r_min = 2.0 ** (1 / 6)
+        system = AtomSystem(np.array([[9.0, 10, 10], [9.0 + r_min, 10, 10]]), box)
+        sim = Simulation(system, [LennardJonesCut(cutoff=2.5, shift=False)], dt=0.001)
+        result = minimize(sim, force_tolerance=1e-6)
+        assert result.iterations <= 2
+
+    def test_invalid_arguments(self):
+        sim = Simulation(lj_melt_system(100), [LennardJonesCut(cutoff=2.5)])
+        with pytest.raises(ValueError):
+            minimize(sim, force_tolerance=0.0)
+        with pytest.raises(ValueError):
+            minimize(sim, max_iterations=0)
+
+
+class TestTailCorrections:
+    def test_textbook_energy_value(self):
+        lj = LJ(cutoff=2.5, tail_correction=True)
+        rho = 0.8442
+        expected_per_atom = (
+            (8.0 / 3.0) * np.pi * rho * ((1 / 2.5) ** 9 / 3.0 - (1 / 2.5) ** 3)
+        )
+        assert lj.tail_energy(1000, 1000 / rho) / 1000 == pytest.approx(
+            expected_per_atom
+        )
+
+    def test_corrections_are_negative_for_attractive_tail(self):
+        lj = LJ(cutoff=2.5, tail_correction=True)
+        assert lj.tail_energy(1000, 1184.6) < 0
+        assert lj.tail_virial(1000, 1184.6) < 0
+
+    def test_corrections_shrink_with_cutoff(self):
+        short = LJ(cutoff=2.5, tail_correction=True)
+        long = LJ(cutoff=4.0, tail_correction=True)
+        assert abs(long.tail_energy(1000, 1184.6)) < abs(
+            short.tail_energy(1000, 1184.6)
+        )
+
+    def test_applied_in_compute(self):
+        system = lj_melt_system(256, temperature=0.0, seed=95)
+        plain = Simulation(system.copy(), [LJ(cutoff=2.5, shift=False)], dt=0.005)
+        plain.setup()
+        tailed = Simulation(
+            system.copy(),
+            [LJ(cutoff=2.5, shift=False, tail_correction=True)],
+            dt=0.005,
+        )
+        tailed.setup()
+        expected = LJ(cutoff=2.5, tail_correction=True).tail_energy(
+            system.n_atoms, system.box.volume
+        )
+        assert tailed.potential_energy - plain.potential_energy == pytest.approx(
+            expected, rel=1e-10
+        )
+
+    def test_invalid_arguments(self):
+        lj = LJ(cutoff=2.5)
+        with pytest.raises(ValueError):
+            lj.tail_energy(0, 100.0)
+        with pytest.raises(ValueError):
+            lj.tail_virial(10, 0.0)

@@ -1,0 +1,85 @@
+"""Tests for the pair_modify mixing rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.potentials.mixing import (
+    MIX_STYLES,
+    build_mixed_tables,
+    mix_epsilon,
+    mix_sigma,
+)
+
+positive = st.floats(0.1, 10.0, allow_nan=False)
+
+
+class TestSigmaRules:
+    def test_arithmetic(self):
+        assert mix_sigma(1.0, 3.0, "arithmetic") == pytest.approx(2.0)
+
+    def test_geometric(self):
+        assert mix_sigma(1.0, 4.0, "geometric") == pytest.approx(2.0)
+
+    def test_sixthpower(self):
+        expected = (0.5 * (1.0 + 4.0**6)) ** (1 / 6)
+        assert mix_sigma(1.0, 4.0, "sixthpower") == pytest.approx(expected)
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            mix_sigma(1.0, 1.0, "quadratic")
+
+    @given(s=positive, style=st.sampled_from(MIX_STYLES))
+    @settings(max_examples=30, deadline=None)
+    def test_same_type_identity(self, s, style):
+        """Property: mixing a type with itself returns its own sigma."""
+        assert mix_sigma(s, s, style) == pytest.approx(s)
+
+    @given(a=positive, b=positive, style=st.sampled_from(MIX_STYLES))
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, a, b, style):
+        assert mix_sigma(a, b, style) == pytest.approx(mix_sigma(b, a, style))
+
+
+class TestEpsilonRules:
+    def test_arithmetic_is_geometric_mean(self):
+        assert mix_epsilon(1.0, 4.0, style="arithmetic") == pytest.approx(2.0)
+
+    def test_sixthpower_needs_sigmas(self):
+        with pytest.raises(ValueError):
+            mix_epsilon(1.0, 1.0, style="sixthpower")
+
+    def test_sixthpower_value(self):
+        out = mix_epsilon(1.0, 1.0, 1.0, 2.0, style="sixthpower")
+        expected = 2.0 * 1.0 * 1.0 * 8.0 / (1.0 + 64.0)
+        assert out == pytest.approx(expected)
+
+    @given(e=positive, s=positive)
+    @settings(max_examples=30, deadline=None)
+    def test_same_type_identity_all_styles(self, e, s):
+        for style in MIX_STYLES:
+            assert mix_epsilon(e, e, s, s, style=style) == pytest.approx(e)
+
+
+class TestTables:
+    def test_shapes(self):
+        eps, sig = build_mixed_tables(np.array([1.0, 2.0, 3.0]), np.array([1.0, 1.5, 2.0]))
+        assert eps.shape == (3, 3)
+        assert sig.shape == (3, 3)
+
+    def test_diagonal_is_input(self):
+        eps_in = np.array([0.5, 2.0])
+        sig_in = np.array([1.0, 3.0])
+        eps, sig = build_mixed_tables(eps_in, sig_in, "arithmetic")
+        assert np.allclose(np.diag(eps), eps_in)
+        assert np.allclose(np.diag(sig), sig_in)
+
+    def test_tables_symmetric(self):
+        eps, sig = build_mixed_tables(np.array([0.5, 2.0]), np.array([1.0, 3.0]))
+        assert np.allclose(eps, eps.T)
+        assert np.allclose(sig, sig.T)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_mixed_tables(np.array([1.0]), np.array([1.0, 2.0]))

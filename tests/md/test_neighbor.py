@@ -1,0 +1,175 @@
+"""Tests for the cell-list-backed Verlet neighbor list."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.atoms import AtomSystem
+from repro.md.box import Box
+from repro.md.neighbor import NeighborList, brute_force_pairs
+
+
+def _pair_set(i, j):
+    return {(min(a, b), max(a, b)) for a, b in zip(i.tolist(), j.tolist())}
+
+
+class TestBruteForce:
+    def test_two_atoms_within_cutoff(self):
+        box = Box([10, 10, 10])
+        i, j = brute_force_pairs(np.array([[1.0, 1, 1], [2.0, 1, 1]]), box, 1.5)
+        assert _pair_set(i, j) == {(0, 1)}
+
+    def test_pair_across_boundary(self):
+        box = Box([10, 10, 10])
+        i, j = brute_force_pairs(np.array([[0.2, 5, 5], [9.8, 5, 5]]), box, 1.0)
+        assert _pair_set(i, j) == {(0, 1)}
+
+    def test_outside_cutoff_excluded(self):
+        box = Box([10, 10, 10])
+        i, j = brute_force_pairs(np.array([[1.0, 1, 1], [5.0, 1, 1]]), box, 1.5)
+        assert len(i) == 0
+
+
+class TestCellListEquivalence:
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(900, 1500))
+    @settings(max_examples=8, deadline=None)
+    def test_matches_brute_force_random_configs(self, seed, n):
+        """Property: binned build finds exactly the brute-force pairs."""
+        rng = np.random.default_rng(seed)
+        box = Box([12.0, 15.0, 18.0])
+        positions = rng.uniform(0, 1, size=(n, 3)) * box.lengths
+        system = AtomSystem(positions, box)
+        nlist = NeighborList(1.5, 0.3)
+        nlist.build(system)  # n > brute-force threshold -> cell list
+        bi, bj = brute_force_pairs(system.positions, box, 1.8)
+        assert _pair_set(nlist.pair_i, nlist.pair_j) == _pair_set(bi, bj)
+
+    def test_matches_brute_force_non_periodic_dim(self):
+        rng = np.random.default_rng(5)
+        box = Box([12.0, 12.0, 20.0], periodic=[True, True, False])
+        positions = rng.uniform(0, 1, size=(1200, 3)) * box.lengths
+        system = AtomSystem(positions, box)
+        nlist = NeighborList(1.5, 0.3)
+        nlist.build(system)
+        bi, bj = brute_force_pairs(system.positions, box, 1.8)
+        assert _pair_set(nlist.pair_i, nlist.pair_j) == _pair_set(bi, bj)
+
+
+class TestGuards:
+    def test_cutoff_exceeding_half_box_rejected(self):
+        box = Box([6.0, 6.0, 6.0])
+        system = AtomSystem(np.zeros((2, 3)) + 1, box)
+        nlist = NeighborList(3.0, 0.5)
+        with pytest.raises(ValueError, match="half the smallest periodic box"):
+            nlist.build(system)
+
+    def test_non_periodic_dims_exempt_from_guard(self):
+        box = Box([20.0, 20.0, 4.0], periodic=[True, True, False])
+        system = AtomSystem(np.ones((4, 3)), box)
+        NeighborList(3.0, 0.5).build(system)  # z is non-periodic: OK
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NeighborList(0.0, 0.1)
+        with pytest.raises(ValueError):
+            NeighborList(1.0, -0.1)
+
+    def test_query_before_build_raises(self):
+        box = Box([10, 10, 10])
+        system = AtomSystem(np.ones((2, 3)), box)
+        with pytest.raises(RuntimeError):
+            NeighborList(1.0, 0.1).current_pairs(system)
+
+
+class TestSkinLogic:
+    def _system(self):
+        rng = np.random.default_rng(7)
+        box = Box([10, 10, 10])
+        return AtomSystem(rng.uniform(0, 10, (64, 3)), box)
+
+    def test_small_motion_no_rebuild(self):
+        system = self._system()
+        nlist = NeighborList(2.0, 0.4)
+        nlist.build(system)
+        system.positions += 0.05  # well under skin/2
+        assert not nlist.needs_rebuild(system)
+
+    def test_large_motion_triggers_rebuild(self):
+        system = self._system()
+        nlist = NeighborList(2.0, 0.4)
+        nlist.build(system)
+        system.positions[0] += 0.5
+        assert nlist.needs_rebuild(system)
+
+    def test_box_change_triggers_rebuild(self):
+        system = self._system()
+        nlist = NeighborList(2.0, 0.4)
+        nlist.build(system)
+        system.box.scale(1.01)
+        assert nlist.needs_rebuild(system)
+
+    def test_ensure_counts_builds(self):
+        system = self._system()
+        nlist = NeighborList(2.0, 0.4)
+        nlist.build(system)
+        for _ in range(5):
+            nlist.ensure(system)
+        assert nlist.stats.n_builds == 1  # static system never rebuilds
+        system.positions[0] += 1.0
+        assert nlist.ensure(system)
+        assert nlist.stats.n_builds == 2
+
+    def test_current_pairs_filters_to_cutoff(self):
+        box = Box([10, 10, 10])
+        system = AtomSystem(np.array([[1.0, 1, 1], [2.9, 1, 1]]), box)
+        nlist = NeighborList(2.0, 0.5)  # pair stored (r=1.9 < 2.5)
+        nlist.build(system)
+        system.positions[1, 0] = 3.2  # drift out of cutoff, still listed
+        i, j, dr, r = nlist.current_pairs(system)
+        assert len(i) == 0
+        i, j, dr, r = nlist.current_pairs(system, cutoff=2.5)
+        assert len(i) == 1
+        assert r[0] == pytest.approx(2.2)
+
+
+class TestVariants:
+    def test_full_list_doubles_pairs(self):
+        rng = np.random.default_rng(8)
+        box = Box([10, 10, 10])
+        system = AtomSystem(rng.uniform(0, 10, (40, 3)), box)
+        half = NeighborList(2.0, 0.2)
+        full = NeighborList(2.0, 0.2, full=True)
+        half.build(system)
+        full.build(system)
+        assert len(full.pair_i) == 2 * len(half.pair_i)
+        # Every (i, j) appears with its mirror (j, i).
+        pairs = set(zip(full.pair_i.tolist(), full.pair_j.tolist()))
+        assert all((j, i) in pairs for i, j in pairs)
+
+    def test_exclusions_removed(self):
+        box = Box([10, 10, 10])
+        positions = np.array([[1.0, 1, 1], [1.8, 1, 1], [2.6, 1, 1]])
+        system = AtomSystem(positions, box)
+        nlist = NeighborList(2.0, 0.2, exclusions=np.array([[0, 1]]))
+        nlist.build(system)
+        assert (0, 1) not in _pair_set(nlist.pair_i, nlist.pair_j)
+        assert (1, 2) in _pair_set(nlist.pair_i, nlist.pair_j)
+
+    def test_neighbors_per_atom_statistic(self):
+        # Two atoms within cutoff: each sees one neighbor.
+        box = Box([10, 10, 10])
+        system = AtomSystem(np.array([[1.0, 1, 1], [2.0, 1, 1]]), box)
+        nlist = NeighborList(1.5, 0.3)
+        nlist.build(system)
+        assert nlist.stats.last_neighbors_per_atom == pytest.approx(1.0)
+
+    def test_rebuild_cadence_statistic(self):
+        rng = np.random.default_rng(9)
+        box = Box([10, 10, 10])
+        system = AtomSystem(rng.uniform(0, 10, (30, 3)), box)
+        nlist = NeighborList(2.0, 0.4)
+        nlist.build(system)
+        for _ in range(10):
+            nlist.ensure(system)
+        assert nlist.stats.rebuild_every == pytest.approx(10.0)

@@ -1,0 +1,158 @@
+"""Tests for the PPPM mesh Ewald solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.atoms import AtomSystem
+from repro.md.box import Box
+from repro.md.kspace.ewald import EwaldSummation
+from repro.md.kspace.pppm import PPPM, bspline_weights
+
+
+class TestBsplineWeights:
+    @given(
+        frac=st.floats(0.0, 31.999, allow_nan=False),
+        order=st.integers(2, 7),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_of_unity(self, frac, order):
+        """Property: assignment weights always sum to exactly 1."""
+        nodes, weights = bspline_weights(np.array([frac]), order)
+        assert weights.shape == (1, order)
+        assert weights.sum() == pytest.approx(1.0, abs=1e-12)
+
+    @given(frac=st.floats(0.0, 31.999), order=st.integers(2, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_weights_non_negative(self, frac, order):
+        _, weights = bspline_weights(np.array([frac]), order)
+        assert np.all(weights >= -1e-14)
+
+    def test_nodes_bracket_particle(self):
+        nodes, weights = bspline_weights(np.array([10.3]), 5)
+        # The five nearest integers to 10.3 are 8..12.
+        assert nodes[0].tolist() == [8, 9, 10, 11, 12]
+
+    def test_particle_on_node_order2(self):
+        nodes, weights = bspline_weights(np.array([5.0]), 2)
+        # Linear (cloud-in-cell) assignment: all weight on the node.
+        total_on_5 = weights[0][nodes[0] == 5].sum()
+        assert total_on_5 == pytest.approx(1.0)
+
+    def test_vectorized_over_particles(self):
+        nodes, weights = bspline_weights(np.array([1.2, 7.9, 15.5]), 5)
+        assert nodes.shape == (3, 5)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+
+
+def _random_system(seed=3, n=50):
+    rng = np.random.default_rng(seed)
+    box = Box([9.0, 9.0, 9.0])
+    q = rng.normal(size=n)
+    q -= q.mean()
+    return AtomSystem(rng.uniform(0, 9, (n, 3)), box, charges=q)
+
+
+class TestAgainstEwald:
+    def test_energy_converges_to_ewald(self):
+        system = _random_system()
+        reference = EwaldSummation(1.0, accuracy=1e-10).energy_only(system)
+        errors = []
+        for grid in ((16, 16, 16), (32, 32, 32)):
+            pppm = PPPM(accuracy=1e-4, cutoff=3.0, alpha=1.0, grid=grid)
+            errors.append(abs(pppm.energy_only(system) - reference) / abs(reference))
+        assert errors[1] < errors[0] < 1e-2
+
+    def test_forces_converge_to_ewald(self):
+        system = _random_system(seed=5)
+        system.forces[:] = 0.0
+        EwaldSummation(1.0, accuracy=1e-10).compute(system)
+        reference = system.forces.copy()
+        rms_ref = np.sqrt(np.mean(reference**2))
+        system.forces[:] = 0.0
+        PPPM(accuracy=1e-4, cutoff=3.0, alpha=1.0, grid=(32, 32, 32)).compute(system)
+        rel = np.sqrt(np.mean((system.forces - reference) ** 2)) / rms_ref
+        assert rel < 1e-3
+
+    def test_accuracy_driven_setup_meets_threshold(self):
+        """Let PPPM pick alpha + grid from the threshold, then verify the
+        realized force error against a tight Ewald reference."""
+        system = _random_system(seed=7)
+        system.forces[:] = 0.0
+        pppm = PPPM(accuracy=1e-4, cutoff=3.0)
+        pppm.setup(system)
+        pppm.compute(system)
+        mesh_forces = system.forces.copy()
+        system.forces[:] = 0.0
+        EwaldSummation(pppm.alpha, accuracy=1e-12).compute(system)
+        rms_err = np.sqrt(np.mean((mesh_forces - system.forces) ** 2))
+        # LAMMPS' absolute accuracy: threshold * two-charge reference.
+        assert rms_err < 1e-4 * 10.0  # generous two-charge normalization
+
+    def test_virial_tracks_ewald(self):
+        system = _random_system(seed=11)
+        ref = EwaldSummation(1.0, accuracy=1e-10)
+        system.forces[:] = 0.0
+        ref_virial = ref.compute(system).virial
+        system.forces[:] = 0.0
+        pm = PPPM(accuracy=1e-4, cutoff=3.0, alpha=1.0, grid=(32, 32, 32))
+        assert pm.compute(system).virial == pytest.approx(ref_virial, rel=1e-2)
+
+
+class TestBehaviour:
+    def test_grid_points_property(self):
+        system = _random_system()
+        pppm = PPPM(accuracy=1e-4, cutoff=3.0, grid=(8, 10, 12))
+        assert pppm.grid_points == 0  # before setup
+        pppm.setup(system)
+        assert pppm.grid_points == 8 * 10 * 12
+
+    def test_interactions_reported_as_grid_points(self):
+        system = _random_system()
+        pppm = PPPM(accuracy=1e-4, cutoff=3.0, alpha=1.0, grid=(16, 16, 16))
+        result = pppm.compute(system)
+        assert result.interactions == 16**3
+
+    def test_tighter_accuracy_selects_larger_grid(self):
+        system = _random_system()
+        loose = PPPM(accuracy=1e-4, cutoff=3.0)
+        loose.setup(system)
+        tight = PPPM(accuracy=1e-6, cutoff=3.0)
+        tight.setup(system)
+        assert tight.grid_points > loose.grid_points
+
+    def test_setup_refreshes_on_box_change(self):
+        system = _random_system()
+        pppm = PPPM(accuracy=1e-4, cutoff=3.0)
+        pppm.compute(system)
+        first = pppm.grid
+        system.box.scale(1.5)
+        system.positions *= 1.5
+        pppm.compute(system)
+        assert pppm.grid != first or pppm.grid_points > 0
+
+    def test_charged_system_rejected(self):
+        box = Box([8, 8, 8])
+        system = AtomSystem(np.ones((2, 3)), box, charges=[1.0, 0.0])
+        with pytest.raises(ValueError, match="charge-neutral"):
+            PPPM(accuracy=1e-4, cutoff=3.0).compute(system)
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            PPPM(accuracy=0.0, cutoff=3.0)
+
+    def test_exclusion_correction_applied(self):
+        box = Box([20.0, 20.0, 20.0])
+        system = AtomSystem(
+            np.array([[9.5, 10, 10], [10.5, 10, 10]]), box, charges=[1.0, -1.0]
+        )
+        pppm = PPPM(
+            accuracy=1e-5,
+            cutoff=4.0,
+            alpha=0.8,
+            grid=(36, 36, 36),
+            exclusions=np.array([[0, 1]]),
+        )
+        energy = pppm.energy_only(system)
+        assert abs(energy) < 0.02  # dimer self-interaction removed

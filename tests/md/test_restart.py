@@ -1,0 +1,75 @@
+"""Tests for snapshot/restart serialization."""
+
+import numpy as np
+import pytest
+
+from repro.md.restart import load_system, restore_simulation, save_snapshot
+from repro.suite import get_benchmark
+
+
+class TestRoundTrip:
+    def test_system_state_preserved(self, tmp_path):
+        sim = get_benchmark("lj").build(200)
+        sim.run(20)
+        path = save_snapshot(sim, tmp_path / "snap.npz")
+        system, step = load_system(path)
+        assert step == 20
+        assert np.array_equal(system.positions, sim.system.positions)
+        assert np.array_equal(system.velocities, sim.system.velocities)
+        assert np.array_equal(system.images, sim.system.images)
+
+    def test_topology_preserved(self, tmp_path):
+        sim = get_benchmark("chain").build(200)
+        sim.run(5)
+        path = save_snapshot(sim, tmp_path / "snap.npz")
+        system, _ = load_system(path)
+        assert np.array_equal(system.topology.bonds, sim.system.topology.bonds)
+
+    def test_granular_state_preserved(self, tmp_path):
+        sim = get_benchmark("chute").build(150)
+        sim.run(30)
+        path = save_snapshot(sim, tmp_path / "snap.npz")
+        system, _ = load_system(path)
+        assert system.is_granular
+        assert np.array_equal(system.omega, sim.system.omega)
+        assert np.array_equal(system.radii, sim.system.radii)
+
+    def test_version_guard(self, tmp_path):
+        sim = get_benchmark("lj").build(100)
+        path = save_snapshot(sim, tmp_path / "snap.npz")
+        data = dict(np.load(path))
+        data["format_version"] = np.array([99])
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="format"):
+            load_system(path)
+
+
+class TestTrajectoryContinuity:
+    def test_restart_reproduces_uninterrupted_nve_run(self, tmp_path):
+        """Checkpoint at step 30, continue to 60: identical to a
+        straight 60-step run (bitwise, for deterministic NVE)."""
+        straight = get_benchmark("lj").build(200, seed=123)
+        straight.run(60)
+
+        first = get_benchmark("lj").build(200, seed=123)
+        first.run(30)
+        path = save_snapshot(first, tmp_path / "mid.npz")
+
+        resumed = get_benchmark("lj").build(200, seed=123)
+        restore_simulation(resumed, path)
+        assert resumed.step_number == 30
+        resumed.run(30)
+
+        assert np.allclose(
+            resumed.system.positions, straight.system.positions, atol=1e-12
+        )
+        assert np.allclose(
+            resumed.system.velocities, straight.system.velocities, atol=1e-12
+        )
+
+    def test_atom_count_mismatch_rejected(self, tmp_path):
+        small = get_benchmark("lj").build(100)
+        path = save_snapshot(small, tmp_path / "snap.npz")
+        big = get_benchmark("lj").build(500)
+        with pytest.raises(ValueError, match="atoms"):
+            restore_simulation(big, path)

@@ -1,0 +1,98 @@
+"""Tests for the tabulated pair potential."""
+
+import numpy as np
+import pytest
+
+from repro.md import LennardJonesCut, Simulation
+from repro.md.atoms import AtomSystem
+from repro.md.box import Box
+from repro.md.lattice import lj_melt_system
+from repro.md.neighbor import NeighborList
+from repro.md.potentials.table import TabulatedPair
+
+from tests.conftest import finite_difference_forces
+
+
+@pytest.fixture
+def lj_table():
+    lj = LennardJonesCut(cutoff=2.5, shift=True)
+    return TabulatedPair.from_potential(lj, r_min=0.8, r_max=2.5, n_samples=800)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TabulatedPair(np.array([1.0, 2.0]), np.array([0.0, 0.0]))
+        with pytest.raises(ValueError):
+            TabulatedPair(np.array([1, 2, 2, 3]), np.zeros(4))
+        with pytest.raises(ValueError):
+            TabulatedPair(np.array([-1, 1, 2, 3]), np.zeros(4))
+
+    def test_cutoff_from_last_sample(self, lj_table):
+        assert lj_table.cutoff == pytest.approx(2.5)
+
+    def test_energy_zero_at_cutoff(self, lj_table):
+        assert lj_table.pair_energy(np.array([2.4999]))[0] == pytest.approx(
+            0.0, abs=1e-4
+        )
+
+
+class TestFidelity:
+    def test_reproduces_lj_profile(self, lj_table):
+        lj = LennardJonesCut(cutoff=2.5, shift=True)
+        r = np.linspace(0.9, 2.4, 300)
+        assert np.allclose(lj_table.pair_energy(r), lj.pair_energy(r), atol=1e-6)
+
+    def test_forces_match_finite_differences(self, lj_table):
+        rng = np.random.default_rng(43)
+        box = Box([8.0, 8.0, 8.0])
+        positions = rng.uniform(0, 8, (10, 3))
+
+        def energy(pos):
+            system = AtomSystem(pos, box)
+            nlist = NeighborList(2.5, 0.3)
+            nlist.build(system)
+            return lj_table.energy_only(system, nlist)
+
+        system = AtomSystem(positions, box)
+        nlist = NeighborList(2.5, 0.3)
+        nlist.build(system)
+        system.forces[:] = 0.0
+        lj_table.compute(system, nlist)
+        reference = finite_difference_forces(energy, positions, h=1e-6)
+        scale = max(1.0, float(np.abs(reference).max()))
+        assert np.allclose(system.forces, reference, atol=1e-3 * scale)
+
+    def test_md_agrees_with_analytic_lj(self, lj_table):
+        """A short NVE run with the table tracks the analytic LJ run."""
+        analytic = Simulation(
+            lj_melt_system(256, seed=61), [LennardJonesCut(cutoff=2.5)], dt=0.005
+        )
+        tabulated = Simulation(lj_melt_system(256, seed=61), [lj_table], dt=0.005)
+        analytic.run(50)
+        tabulated.run(50)
+        assert np.allclose(
+            analytic.system.positions, tabulated.system.positions, atol=1e-3
+        )
+
+    def test_energy_conserved_in_nve(self, lj_table):
+        sim = Simulation(lj_melt_system(256, seed=63), [lj_table], dt=0.005)
+        sim.setup()
+        e0 = sim.total_energy()
+        sim.run(150)
+        assert sim.total_energy() == pytest.approx(e0, rel=1e-3)
+
+
+class TestClamp:
+    def test_below_range_linear_extrapolation(self, lj_table):
+        e_close = lj_table.pair_energy(np.array([0.5]))[0]
+        e_edge = lj_table.pair_energy(np.array([0.8]))[0]
+        assert e_close > e_edge > 0  # steeply repulsive, finite, monotone
+
+    def test_core_force_is_repulsive(self, lj_table):
+        box = Box([10.0, 10.0, 10.0])
+        system = AtomSystem(np.array([[5.0, 5, 5], [5.5, 5, 5]]), box)
+        nlist = NeighborList(2.5, 0.3)
+        nlist.build(system)
+        lj_table.compute(system, nlist)
+        assert system.forces[0, 0] < 0  # pushed apart

@@ -1,0 +1,72 @@
+"""Tests for the Berendsen and velocity-rescale thermostat fixes."""
+
+import numpy as np
+import pytest
+
+from repro.md import LennardJonesCut, Simulation
+from repro.md.fixes import BerendsenThermostat, VelocityRescale
+from repro.md.lattice import lj_melt_system
+
+
+def _sim(fix, n=256, temperature=0.4):
+    system = lj_melt_system(n, temperature=temperature, seed=201)
+    return Simulation(
+        system, [LennardJonesCut(cutoff=2.5)], fixes=[fix], dt=0.004, skin=0.3
+    )
+
+
+class TestBerendsen:
+    def test_heats_toward_target(self):
+        sim = _sim(BerendsenThermostat(1.2, damp=0.1), temperature=0.3)
+        sim.run(500)
+        assert sim.system.temperature() == pytest.approx(1.2, rel=0.25)
+
+    def test_cools_toward_target(self):
+        sim = _sim(BerendsenThermostat(0.5, damp=0.1), temperature=1.6)
+        sim.run(500)
+        assert sim.system.temperature() == pytest.approx(0.5, rel=0.3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BerendsenThermostat(0.0, 1.0)
+        with pytest.raises(ValueError):
+            BerendsenThermostat(1.0, 0.0)
+
+    def test_still_system_untouched(self):
+        from repro.md.atoms import AtomSystem
+        from repro.md.box import Box
+
+        system = AtomSystem(np.ones((3, 3)), Box([10, 10, 10]))
+        BerendsenThermostat(1.0, 0.5).post_force(system, 0.01, 1)
+        assert np.allclose(system.velocities, 0.0)
+
+    def test_rescale_bounded_for_cold_start(self):
+        """The lambda guard keeps a near-zero-T start from exploding."""
+        sim = _sim(BerendsenThermostat(1.0, damp=0.001), temperature=0.01)
+        sim.run(5)
+        assert sim.system.temperature() < 1.0  # at most 2x per step
+
+
+class TestVelocityRescale:
+    def test_exact_rescale_applied(self):
+        system = lj_melt_system(200, temperature=1.5, seed=7)
+        VelocityRescale(0.9, every=1).post_force(system, 0.004, step=1)
+        assert system.temperature() == pytest.approx(0.9, rel=1e-9)
+
+    def test_regulates_during_dynamics(self):
+        sim = _sim(VelocityRescale(0.9, every=1), temperature=1.5)
+        sim.run(50)
+        # The final half-kick perturbs the exact value slightly.
+        assert sim.system.temperature() == pytest.approx(0.9, rel=0.2)
+
+    def test_interval_respected(self):
+        fix = VelocityRescale(0.9, every=10)
+        sim = _sim(fix, temperature=1.5)
+        sim.run(3)  # steps 1-3: no rescale yet
+        assert sim.system.temperature() > 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            VelocityRescale(0.0)
+        with pytest.raises(ValueError):
+            VelocityRescale(1.0, every=0)
