@@ -1,0 +1,304 @@
+#!/usr/bin/env python
+"""Micro-benchmark harness for the force-kernel backends.
+
+Times the engine's hot loops — neighbor-list build, LJ/EAM/granular
+force evaluation, the LJ force-accumulation scatter, and a full LJ-melt
+timestep — at 4k and 32k atoms for every registered kernel backend,
+and writes the measurements to ``BENCH_kernels.json`` at the repo root.
+That file seeds the repo's tracked performance trajectory: re-run after
+kernel work and diff the ``speedups`` section.
+
+Usage::
+
+    python benchmarks/bench_kernels.py            # full run (~minutes)
+    python benchmarks/bench_kernels.py --quick    # 4k atoms only (CI smoke)
+    python benchmarks/bench_kernels.py --out PATH # custom output location
+
+The harness is a plain script (not a pytest module) so it can run
+without the test extras installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.md.kernels import available_backends, get_backend  # noqa: E402
+from repro.md.lattice import (  # noqa: E402
+    chute_system,
+    eam_solid_system,
+    lj_melt_system,
+)
+from repro.md.neighbor import NeighborList  # noqa: E402
+from repro.md.potentials.eam import EAMAlloy  # noqa: E402
+from repro.md.potentials.granular import HookeHistory  # noqa: E402
+from repro.md.potentials.lj import LennardJonesCut  # noqa: E402
+from repro.md.simulation import Simulation  # noqa: E402
+
+#: The acceptance bar for the optimized backend on the 32k-atom LJ
+#: force-accumulation micro-benchmark (vs the numpy_ref oracle).
+ACCUMULATE_SPEEDUP_THRESHOLD = 3.0
+
+
+def _timed(fn, reps: int, *, setup=None) -> dict:
+    """Best/mean wall-clock of ``reps`` calls (plus one warmup call)."""
+    if setup is not None:
+        setup()
+    fn()  # warmup: scratch allocation, caches
+    times = []
+    for _ in range(reps):
+        if setup is not None:
+            setup()
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return {
+        "best_s": min(times),
+        "mean_s": sum(times) / len(times),
+        "reps": reps,
+    }
+
+
+def _record(results: list, verbose: bool, **entry) -> None:
+    results.append(entry)
+    if verbose:
+        backend = entry.get("backend") or "-"
+        print(
+            f"  {entry['group']:<12} {entry['benchmark']:<8} "
+            f"n={entry['n_atoms']:<6} {backend:<10} "
+            f"best={entry['best_s'] * 1e3:9.2f} ms",
+            flush=True,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Benchmark system builders: (system, neighbor kwargs, potential factory)
+# ---------------------------------------------------------------------------
+def _lj_case(n: int):
+    system = lj_melt_system(n, seed=12345)
+    return system, dict(cutoff=2.5, skin=0.3), lambda: LennardJonesCut(cutoff=2.5)
+
+
+def _eam_case(n: int):
+    system = eam_solid_system(n, seed=777)
+    return system, dict(cutoff=4.95, skin=1.0), EAMAlloy
+
+
+def _granular_case(n: int):
+    layers = 4
+    side = max(2, round(math.sqrt(n / layers)))
+    system = chute_system(side, side, layers, seed=999)
+    return (
+        system,
+        dict(cutoff=1.0, skin=0.1, full=True),
+        lambda: HookeHistory(dt=1e-4),
+    )
+
+
+_CASES = {"lj": _lj_case, "eam": _eam_case, "granular": _granular_case}
+
+
+def run(sizes: list[int], *, quick: bool, verbose: bool = True) -> dict:
+    backends = available_backends()
+    results: list[dict] = []
+    eval_reps = 2 if quick else 3
+    step_reps = 3 if quick else 5
+
+    for n in sizes:
+        for bench, case in _CASES.items():
+            system, nl_kwargs, make_potential = case(n)
+            n_atoms = system.n_atoms
+            if verbose:
+                print(f"[{bench} n={n_atoms}]", flush=True)
+
+            # -- Neigh: list construction, cell path (and the brute-force
+            # path where it is tractable).
+            nlist = NeighborList(
+                nl_kwargs["cutoff"],
+                nl_kwargs["skin"],
+                full=nl_kwargs.get("full", False),
+                brute_force_max=0,
+            )
+            timing = _timed(lambda: nlist.build(system), reps=1)
+            _record(
+                results, verbose,
+                group="neigh_build", benchmark=bench, n_atoms=n_atoms,
+                backend=None, variant="cell", pairs=len(nlist.pair_i),
+                **timing,
+            )
+            if n_atoms <= 8192:
+                brute = NeighborList(
+                    nl_kwargs["cutoff"],
+                    nl_kwargs["skin"],
+                    full=nl_kwargs.get("full", False),
+                    brute_force_max=10**9,
+                )
+                timing = _timed(lambda: brute.build(system), reps=1)
+                _record(
+                    results, verbose,
+                    group="neigh_build", benchmark=bench, n_atoms=n_atoms,
+                    backend=None, variant="brute_force",
+                    pairs=len(brute.pair_i), **timing,
+                )
+
+            # -- Pair: full force evaluation on each backend.
+            for backend_name in backends:
+                potential = make_potential()
+                potential.backend = get_backend(backend_name)
+
+                def eval_forces():
+                    system.forces[:] = 0.0
+                    if system.torques is not None:
+                        system.torques[:] = 0.0
+                    potential.compute(system, nlist)
+
+                timing = _timed(eval_forces, reps=eval_reps)
+                _record(
+                    results, verbose,
+                    group="force_eval", benchmark=bench, n_atoms=n_atoms,
+                    backend=backend_name, pairs=len(nlist.pair_i), **timing,
+                )
+
+            # -- LJ extras: the accumulation micro-benchmark and a full
+            # timestep (the acceptance-tracked numbers).
+            if bench != "lj":
+                continue
+
+            ref = get_backend("numpy_ref")
+            i, j, dr, r = ref.current_pairs(system, nlist, nl_kwargs["cutoff"])
+            lj = make_potential()
+            _, f_over_r = lj.pair_terms(r, r * r, None, None, None, None)
+            forces = np.zeros_like(system.forces)
+            for backend_name in backends:
+                backend = get_backend(backend_name)
+                timing = _timed(
+                    lambda: backend.accumulate_scaled_pair_forces(
+                        forces, i, j, dr, f_over_r
+                    ),
+                    reps=eval_reps + 2,
+                )
+                _record(
+                    results, verbose,
+                    group="accumulate", benchmark=bench, n_atoms=n_atoms,
+                    backend=backend_name, pairs=len(i), **timing,
+                )
+
+            for backend_name in backends:
+                sim = Simulation(
+                    lj_melt_system(n, seed=12345),
+                    [LennardJonesCut(cutoff=2.5)],
+                    dt=0.005,
+                    skin=0.3,
+                    backend=backend_name,
+                )
+                sim.setup()
+                # Time fresh post-setup steps: no rebuild lands inside
+                # the window (half-skin takes ~25 melt steps to cross).
+                timing = _timed(sim.step, reps=step_reps)
+                _record(
+                    results, verbose,
+                    group="full_step", benchmark=bench, n_atoms=sim.system.n_atoms,
+                    backend=backend_name, pairs=len(sim.neighbor.pair_i),
+                    **timing,
+                )
+
+    return {
+        "schema": "repro-bench-kernels/1",
+        "created_unix": time.time(),
+        "quick": quick,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "requested_sizes": sizes,
+        "backends": list(backends),
+        "results": results,
+        "speedups": _speedups(results),
+    }
+
+
+def _speedups(results: list[dict]) -> list[dict]:
+    """ref/fast ratios for every (group, benchmark, n_atoms) pairing."""
+    keyed: dict[tuple, dict[str, float]] = {}
+    for entry in results:
+        if entry.get("backend") is None:
+            continue
+        key = (entry["group"], entry["benchmark"], entry["n_atoms"])
+        keyed.setdefault(key, {})[entry["backend"]] = entry["best_s"]
+    out = []
+    for (group, bench, n_atoms), per_backend in sorted(keyed.items()):
+        if {"numpy_ref", "numpy_fast"} <= set(per_backend):
+            out.append(
+                {
+                    "group": group,
+                    "benchmark": bench,
+                    "n_atoms": n_atoms,
+                    "speedup_fast_over_ref": per_backend["numpy_ref"]
+                    / per_backend["numpy_fast"],
+                }
+            )
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="4k atoms only with fewer repetitions (CI smoke test)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_kernels.json",
+        help="output JSON path (default: BENCH_kernels.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    # Fail on an unwritable destination now, not after minutes of timing.
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.touch()
+
+    sizes = [4096] if args.quick else [4096, 32768]
+    report = run(sizes, quick=args.quick)
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    failures = []
+    for entry in report["speedups"]:
+        print(
+            f"speedup {entry['group']}/{entry['benchmark']}"
+            f"/n{entry['n_atoms']}: {entry['speedup_fast_over_ref']:.2f}x"
+        )
+        if (
+            entry["group"] == "accumulate"
+            and not args.quick
+            and entry["n_atoms"] >= 32_000
+            and entry["speedup_fast_over_ref"] < ACCUMULATE_SPEEDUP_THRESHOLD
+        ):
+            failures.append(entry)
+    if failures:
+        print(
+            f"FAIL: 32k LJ accumulation below the "
+            f"{ACCUMULATE_SPEEDUP_THRESHOLD:.0f}x acceptance threshold"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

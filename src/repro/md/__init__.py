@@ -30,6 +30,7 @@ from repro.md.fixes import (
     VelocityRescale,
 )
 from repro.md.integrators import NoseHooverNPT, NoseHooverNVT, VelocityVerletNVE
+from repro.md.kernels import KernelBackend, available_backends, get_backend
 from repro.md.kspace import PPPM, EwaldSummation
 from repro.md.minimize import minimize
 from repro.md.neighbor import NeighborList
@@ -85,4 +86,7 @@ __all__ = [
     "save_snapshot",
     "load_system",
     "restore_simulation",
+    "KernelBackend",
+    "get_backend",
+    "available_backends",
 ]

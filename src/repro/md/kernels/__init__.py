@@ -1,0 +1,71 @@
+"""Pluggable force-kernel backends for the Pair-task hot loop.
+
+The engine's inner loop — pair geometry, cutoff masking and force
+scatter — is factored behind :class:`~repro.md.kernels.base.KernelBackend`
+so that the same potentials run on interchangeable implementations:
+
+``numpy_ref``
+    The original ``np.add.at`` formulation, kept as the correctness
+    oracle and the baseline the benchmark harness measures against.
+``numpy_fast``
+    CSR-ordered pairs, ``np.bincount`` segmented accumulation and
+    preallocated scratch buffers (the default).
+
+Selection order: an explicit ``Simulation(backend=...)`` argument wins,
+then the ``REPRO_KERNEL_BACKEND`` environment variable, then
+:data:`DEFAULT_BACKEND`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.md.kernels.base import KernelBackend
+from repro.md.kernels.numpy_fast import NumpyFastBackend
+from repro.md.kernels.numpy_ref import NumpyRefBackend
+
+__all__ = [
+    "KernelBackend",
+    "NumpyRefBackend",
+    "NumpyFastBackend",
+    "DEFAULT_BACKEND",
+    "BACKEND_ENV_VAR",
+    "available_backends",
+    "get_backend",
+]
+
+#: Environment variable consulted when no explicit backend is passed.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Backend used when neither an argument nor the env var selects one.
+DEFAULT_BACKEND = "numpy_fast"
+
+_REGISTRY: dict[str, type[KernelBackend]] = {
+    NumpyRefBackend.name: NumpyRefBackend,
+    NumpyFastBackend.name: NumpyFastBackend,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`get_backend`, in registry order."""
+    return tuple(_REGISTRY)
+
+
+def get_backend(spec: str | KernelBackend | None = None) -> KernelBackend:
+    """Resolve ``spec`` into a live :class:`KernelBackend` instance.
+
+    ``None`` falls back to ``$REPRO_KERNEL_BACKEND`` and then to
+    :data:`DEFAULT_BACKEND`; a string is looked up in the registry; an
+    existing backend instance passes through unchanged (so a Simulation
+    can share one scratch-carrying backend across its potentials).
+    """
+    if isinstance(spec, KernelBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    try:
+        return _REGISTRY[spec]()
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {spec!r}; available: {available_backends()}"
+        ) from None

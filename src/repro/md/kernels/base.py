@@ -1,0 +1,88 @@
+"""Kernel-backend interface for the force-evaluation hot loop.
+
+The paper's characterization (Table 1, Figure 3) shows the Pair and
+Neigh tasks dominating MD wall-clock on every commodity platform, so
+this engine isolates exactly the three primitives those tasks spend
+their time in behind a small strategy interface:
+
+* gathering fresh pair geometry from the stored neighbor list
+  (:meth:`KernelBackend.current_pairs`),
+* scattering per-pair vectors back onto per-atom arrays
+  (:meth:`KernelBackend.accumulate_pair_forces`), and
+* scattering arbitrary per-pair scalars/vectors (EAM electron
+  densities, granular contact torques — :meth:`KernelBackend.scatter_add`).
+
+Backends must be bit-compatible in *math* (same formulas, same pair
+set) but are free to reorder summations and reuse scratch storage; the
+backend-equivalence tests pin the reference and optimized backends
+together to 1e-12 on forces, energy and virial for every pair style.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.md.atoms import AtomSystem
+    from repro.md.neighbor import NeighborList
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend(abc.ABC):
+    """Strategy object providing the Pair-task inner-loop primitives."""
+
+    #: Registry key (``numpy_ref``, ``numpy_fast``, ...).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def current_pairs(
+        self,
+        system: "AtomSystem",
+        neighbors: "NeighborList",
+        cutoff: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Pairs currently within ``cutoff`` with fresh geometry.
+
+        Returns ``(i, j, dr, r)`` exactly like
+        :meth:`repro.md.neighbor.NeighborList.current_pairs`.
+        """
+
+    @abc.abstractmethod
+    def scatter_add(
+        self, out: np.ndarray, index: np.ndarray, values: np.ndarray
+    ) -> None:
+        """``out[index[k]] += values[k]`` for 1-D or ``(M, 3)`` values."""
+
+    @abc.abstractmethod
+    def accumulate_pair_forces(
+        self,
+        forces: np.ndarray,
+        i: np.ndarray,
+        j: np.ndarray,
+        fvec: np.ndarray,
+    ) -> None:
+        """Scatter ``+fvec`` onto rows ``i`` and ``-fvec`` onto rows ``j``."""
+
+    def accumulate_scaled_pair_forces(
+        self,
+        forces: np.ndarray,
+        i: np.ndarray,
+        j: np.ndarray,
+        dr: np.ndarray,
+        f_over_r: np.ndarray,
+    ) -> None:
+        """Scatter ``f_over_r[k] * dr[k]`` onto ``i``/``j`` rows.
+
+        This is the analytic-potential hot path (``f_vec = f_over_r *
+        dr``); keeping it a distinct primitive lets a backend fuse the
+        scaling into the scatter instead of materializing the ``(M, 3)``
+        force-vector array.
+        """
+        self.accumulate_pair_forces(forces, i, j, f_over_r[:, None] * dr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"

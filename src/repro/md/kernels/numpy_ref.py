@@ -1,0 +1,34 @@
+"""Reference numpy kernel backend (the correctness oracle).
+
+This backend reproduces the engine's original force-kernel behavior
+verbatim: pair geometry through
+:meth:`repro.md.neighbor.NeighborList.current_pairs` and scatter
+accumulation through ``np.add.at`` / ``np.subtract.at``.  It is kept
+unoptimized on purpose — the ``numpy_fast`` backend is tested against it
+pair-for-pair, and the micro-benchmark harness reports speedups relative
+to it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.kernels.base import KernelBackend
+
+__all__ = ["NumpyRefBackend"]
+
+
+class NumpyRefBackend(KernelBackend):
+    """Unordered-scatter backend built on ``np.ufunc.at``."""
+
+    name = "numpy_ref"
+
+    def current_pairs(self, system, neighbors, cutoff=None):
+        return neighbors.current_pairs(system, cutoff)
+
+    def scatter_add(self, out, index, values):
+        np.add.at(out, index, values)
+
+    def accumulate_pair_forces(self, forces, i, j, fvec):
+        np.add.at(forces, i, fvec)
+        np.subtract.at(forces, j, fvec)

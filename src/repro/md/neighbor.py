@@ -19,6 +19,7 @@ Two list flavours are supported, mirroring LAMMPS' ``newton`` setting:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,11 +27,27 @@ import numpy as np
 from repro.md.atoms import AtomSystem
 from repro.md.box import Box
 
-__all__ = ["NeighborList", "NeighborStats", "brute_force_pairs"]
+__all__ = [
+    "NeighborList",
+    "NeighborStats",
+    "brute_force_pairs",
+    "BRUTE_FORCE_ENV_VAR",
+]
 
 # Below this atom count a vectorized O(N^2) build is faster than cell
-# binning in numpy and trivially correct; above it we bin.
+# binning in numpy and trivially correct; above it we bin.  Both the
+# NeighborList(brute_force_max=...) argument and the environment
+# variable below override this default.
 _BRUTE_FORCE_MAX_ATOMS = 800
+
+#: Environment override for the brute-force/cell-list crossover, letting
+#: the benchmark harness force either build path without code changes.
+BRUTE_FORCE_ENV_VAR = "REPRO_NEIGHBOR_BRUTE_MAX"
+
+
+def _default_brute_force_max() -> int:
+    value = os.environ.get(BRUTE_FORCE_ENV_VAR)
+    return _BRUTE_FORCE_MAX_ATOMS if value is None else int(value)
 
 
 def _encode_pairs(i: np.ndarray, j: np.ndarray, n: int) -> np.ndarray:
@@ -38,6 +55,21 @@ def _encode_pairs(i: np.ndarray, j: np.ndarray, n: int) -> np.ndarray:
     lo = np.minimum(i, j).astype(np.int64)
     hi = np.maximum(i, j).astype(np.int64)
     return lo * np.int64(n) + hi
+
+
+def _isin_sorted(keys: np.ndarray, sorted_keys: np.ndarray) -> np.ndarray:
+    """Membership of ``keys`` in presorted ``sorted_keys``.
+
+    ``np.searchsorted`` on an already-sorted key table is
+    O(M log E) with tiny constants, replacing the ``np.isin`` set
+    machinery (which re-sorts and concatenates both operands on every
+    neighbor rebuild).
+    """
+    if len(sorted_keys) == 0:
+        return np.zeros(len(keys), dtype=bool)
+    pos = np.searchsorted(sorted_keys, keys)
+    pos = np.minimum(pos, len(sorted_keys) - 1)
+    return sorted_keys[pos] == keys
 
 
 def brute_force_pairs(
@@ -90,6 +122,19 @@ class NeighborList:
         Optional ``(M, 2)`` array of atom-index pairs to exclude (bonded
         1-2 / 1-3 partners whose non-bonded interaction is masked, as
         LAMMPS ``special_bonds`` does).
+    brute_force_max:
+        Atom count up to which the O(N^2) brute-force build is used
+        instead of cell binning.  Defaults to ``$REPRO_NEIGHBOR_BRUTE_MAX``
+        or 800; set to 0 to force the cell-list path, or very large to
+        force brute force (the benchmark harness uses both).
+
+    Besides the flat ``pair_i`` / ``pair_j`` arrays, every build also
+    publishes the same pairs in **CSR form**: ``csr_offsets`` (length
+    ``n_atoms + 1``) and ``csr_neighbors`` such that atom ``a``'s stored
+    partners are ``csr_neighbors[csr_offsets[a]:csr_offsets[a + 1]]``,
+    sorted ascending.  ``pair_i``/``pair_j`` are kept in the matching
+    row-major order (``pair_i`` non-decreasing), which is what lets the
+    ``numpy_fast`` kernel backend use monotone segmented reductions.
     """
 
     def __init__(
@@ -99,6 +144,7 @@ class NeighborList:
         *,
         full: bool = False,
         exclusions: np.ndarray | None = None,
+        brute_force_max: int | None = None,
     ) -> None:
         if cutoff <= 0:
             raise ValueError("cutoff must be positive")
@@ -107,11 +153,19 @@ class NeighborList:
         self.cutoff = float(cutoff)
         self.skin = float(skin)
         self.full = bool(full)
+        self.brute_force_max = (
+            _default_brute_force_max() if brute_force_max is None
+            else int(brute_force_max)
+        )
+        if self.brute_force_max < 0:
+            raise ValueError("brute_force_max must be non-negative")
         self.stats = NeighborStats()
         self._positions_at_build: np.ndarray | None = None
         self._box_lengths_at_build: np.ndarray | None = None
         self.pair_i = np.empty(0, dtype=np.int64)
         self.pair_j = np.empty(0, dtype=np.int64)
+        self.csr_offsets = np.zeros(1, dtype=np.int64)
+        self.csr_neighbors = np.empty(0, dtype=np.int64)
         self._excluded_keys: np.ndarray | None = None
         self._exclusions = (
             None
@@ -143,26 +197,36 @@ class NeighborList:
                 "or shrink the cutoff"
             )
 
-        if n <= _BRUTE_FORCE_MAX_ATOMS or not self._can_bin(box, rc):
+        if n <= self.brute_force_max or not self._can_bin(box, rc):
             i, j = brute_force_pairs(positions, box, rc)
         else:
             i, j = self._cell_list_pairs(positions, box, rc)
 
         if self._exclusions is not None:
             if self._excluded_keys is None or len(self._excluded_keys) == 0:
+                # Cached across rebuilds: the exclusion topology is static.
                 self._excluded_keys = np.unique(
                     _encode_pairs(self._exclusions[:, 0], self._exclusions[:, 1], n)
                 )
             keys = _encode_pairs(i, j, n)
-            keep = ~np.isin(keys, self._excluded_keys)
+            keep = ~_isin_sorted(keys, self._excluded_keys)
             i, j = i[keep], j[keep]
 
         if self.full:
-            self.pair_i = np.concatenate([i, j])
-            self.pair_j = np.concatenate([j, i])
+            pair_i = np.concatenate([i, j])
+            pair_j = np.concatenate([j, i])
         else:
-            self.pair_i = i
-            self.pair_j = j
+            pair_i, pair_j = i, j
+
+        # CSR packing: row-major (i, then j) order, offsets per atom.
+        order = np.lexsort((pair_j, pair_i))
+        self.pair_i = pair_i[order]
+        self.pair_j = pair_j[order]
+        self.csr_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(self.pair_i, minlength=n), out=self.csr_offsets[1:]
+        )
+        self.csr_neighbors = self.pair_j
 
         self._positions_at_build = positions.copy()
         self._box_lengths_at_build = box.lengths.copy()
@@ -315,3 +379,9 @@ class NeighborList:
         mask = r2 < rc * rc
         i, j, dr = self.pair_i[mask], self.pair_j[mask], dr[mask]
         return i, j, dr, np.sqrt(r2[mask])
+
+    def neighbors_of(self, atom: int) -> np.ndarray:
+        """Stored partners of ``atom`` (CSR row; sorted ascending)."""
+        return self.csr_neighbors[
+            self.csr_offsets[atom] : self.csr_offsets[atom + 1]
+        ]

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.md.atoms import AtomSystem
+from repro.md.kernels import KernelBackend, get_backend
 from repro.md.neighbor import NeighborList
 
 __all__ = ["ForceResult", "PairPotential", "accumulate_pair_forces"]
@@ -47,16 +48,18 @@ def accumulate_pair_forces(
     j: np.ndarray,
     dr: np.ndarray,
     f_over_r: np.ndarray,
+    backend: KernelBackend | str | None = None,
 ) -> None:
     """Scatter-add pair forces for a half list.
 
     ``f_over_r`` is the magnitude of the pair force divided by the
     distance (so that ``f_vec = f_over_r * dr``); positive values are
-    repulsive for ``dr = x_i - x_j``.
+    repulsive for ``dr = x_i - x_j``.  The scatter itself is delegated
+    to a :class:`~repro.md.kernels.base.KernelBackend`.
     """
-    fvec = f_over_r[:, None] * dr
-    np.add.at(system.forces, i, fvec)
-    np.subtract.at(system.forces, j, fvec)
+    get_backend(backend).accumulate_scaled_pair_forces(
+        system.forces, i, j, dr, f_over_r
+    )
 
 
 class PairPotential(abc.ABC):
@@ -69,6 +72,31 @@ class PairPotential(abc.ABC):
     #: True when the potential needs both pair directions (``newton off``)
     #: — only the granular history potential does.
     needs_full_list: bool = False
+
+    #: Whether :meth:`AnalyticPairPotential.pair_terms` reads the
+    #: per-pair type / charge arrays.  When false the (large) gathers
+    #: are skipped and ``None`` is passed instead.
+    needs_types: bool = True
+    needs_charges: bool = False
+
+    _backend: KernelBackend | None = None
+
+    @property
+    def backend(self) -> KernelBackend:
+        """The kernel backend force evaluation runs on.
+
+        Unset potentials resolve lazily through
+        :func:`repro.md.kernels.get_backend` (env var / default); the
+        owning :class:`~repro.md.simulation.Simulation` assigns its
+        shared backend to every potential at construction.
+        """
+        if self._backend is None:
+            self._backend = get_backend()
+        return self._backend
+
+    @backend.setter
+    def backend(self, value: KernelBackend | str | None) -> None:
+        self._backend = None if value is None else get_backend(value)
 
     @abc.abstractmethod
     def compute(self, system: AtomSystem, neighbors: NeighborList) -> ForceResult:
@@ -100,21 +128,25 @@ class AnalyticPairPotential(PairPotential):
         q_i: np.ndarray,
         q_j: np.ndarray,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Return per-pair ``(energy, f_over_r)`` arrays."""
+        """Return per-pair ``(energy, f_over_r)`` arrays.
+
+        ``type_i``/``type_j`` and ``q_i``/``q_j`` are only gathered (and
+        non-``None``) when the class opts in via :attr:`needs_types` /
+        :attr:`needs_charges` — skipping those per-pair gathers is a
+        measurable win at benchmark pair counts.
+        """
 
     def compute(self, system: AtomSystem, neighbors: NeighborList) -> ForceResult:
-        i, j, dr, r = neighbors.current_pairs(system, self.cutoff)
+        kernel = self.backend
+        i, j, dr, r = kernel.current_pairs(system, neighbors, self.cutoff)
         if len(i) == 0:
             return ForceResult()
         r2 = r * r
-        energy, f_over_r = self.pair_terms(
-            r,
-            r2,
-            system.types[i],
-            system.types[j],
-            system.charges[i],
-            system.charges[j],
-        )
-        accumulate_pair_forces(system, i, j, dr, f_over_r)
+        type_i = system.types[i] if self.needs_types else None
+        type_j = system.types[j] if self.needs_types else None
+        q_i = system.charges[i] if self.needs_charges else None
+        q_j = system.charges[j] if self.needs_charges else None
+        energy, f_over_r = self.pair_terms(r, r2, type_i, type_j, q_i, q_j)
+        kernel.accumulate_scaled_pair_forces(system.forces, i, j, dr, f_over_r)
         virial = float(np.sum(f_over_r * r2))
         return ForceResult(float(np.sum(energy)), virial, len(i))

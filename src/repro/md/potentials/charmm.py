@@ -49,6 +49,9 @@ def charmm_switch(
 class CharmmCoulLong(AnalyticPairPotential):
     """Switched LJ + real-space Ewald Coulomb, with arithmetic mixing.
 
+    The Coulomb term reads per-pair charges, so this is the one pair
+    style that opts into the charge gathers (``needs_charges``).
+
     Parameters
     ----------
     epsilon, sigma:
@@ -64,6 +67,8 @@ class CharmmCoulLong(AnalyticPairPotential):
     coulomb_constant:
         ``q q / r`` prefactor; 1 in reduced units.
     """
+
+    needs_charges = True
 
     def __init__(
         self,
@@ -91,10 +96,15 @@ class CharmmCoulLong(AnalyticPairPotential):
             )
         self.alpha = float(alpha)
         self.coulomb_constant = float(coulomb_constant)
+        self.needs_types = self.eps_table.size > 1
 
     def pair_terms(self, r, r2, type_i, type_j, q_i, q_j):
-        eps = self.eps_table[type_i, type_j]
-        sigma = self.sigma_table[type_i, type_j]
+        if self.needs_types:
+            eps = self.eps_table[type_i, type_j]
+            sigma = self.sigma_table[type_i, type_j]
+        else:
+            eps = self.eps_table[0, 0]
+            sigma = self.sigma_table[0, 0]
         inv_r2 = 1.0 / r2
         sr2 = sigma * sigma * inv_r2
         sr6 = sr2 * sr2 * sr2

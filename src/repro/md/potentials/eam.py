@@ -115,7 +115,8 @@ class EAMAlloy(PairPotential):
 
     # -- evaluation --------------------------------------------------------
     def compute(self, system: AtomSystem, neighbors: NeighborList) -> ForceResult:
-        i, j, dr, r = neighbors.current_pairs(system, self.cutoff)
+        kernel = self.backend
+        i, j, dr, r = kernel.current_pairs(system, neighbors, self.cutoff)
         n = system.n_atoms
         if len(i) == 0:
             # Isolated atoms: embedding of zero density is zero by the
@@ -125,15 +126,15 @@ class EAMAlloy(PairPotential):
         # Pass 1: densities and embedding.
         f_r, df_r = self.density_function(r)
         rho = np.zeros(n)
-        np.add.at(rho, i, f_r)
-        np.add.at(rho, j, f_r)
+        kernel.scatter_add(rho, i, f_r)
+        kernel.scatter_add(rho, j, f_r)
         F_rho, Fp_rho = self.embedding_function(rho)
         embed_energy = float(np.sum(F_rho))
 
         # Pass 2: pair repulsion plus density-mediated forces.
         phi, dphi = self.pair_function(r)
         f_over_r = -(dphi + (Fp_rho[i] + Fp_rho[j]) * df_r) / r
-        accumulate_pair_forces(system, i, j, dr, f_over_r)
+        accumulate_pair_forces(system, i, j, dr, f_over_r, backend=kernel)
 
         pair_energy = float(np.sum(phi))
         virial = float(np.sum(f_over_r * r * r))

@@ -95,7 +95,10 @@ class HookeHistory(PairPotential):
     def compute(self, system: AtomSystem, neighbors: NeighborList) -> ForceResult:
         if system.radii is None:
             raise ValueError("HookeHistory needs a granular system (radii set)")
-        i_all, j_all, dr_all, r_all = neighbors.current_pairs(system, self.cutoff)
+        kernel = self.backend
+        i_all, j_all, dr_all, r_all = kernel.current_pairs(
+            system, neighbors, self.cutoff
+        )
         interactions = len(i_all)
         # Physics is evaluated once per unordered pair; the full list the
         # simulation keeps (newton off) is reflected in `interactions`.
@@ -147,14 +150,13 @@ class HookeHistory(PairPotential):
         self.history.store(xi)
 
         f_total = f_n_vec + f_t_vec
-        np.add.at(system.forces, i, f_total)
-        np.subtract.at(system.forces, j, f_total)
+        kernel.accumulate_pair_forces(system.forces, i, j, f_total)
 
         # Contact torques from the tangential force.
         if system.torques is not None:
             torque = np.cross(n_hat, f_t_vec)
-            np.add.at(system.torques, i, -radii[i][:, None] * torque)
-            np.add.at(system.torques, j, -radii[j][:, None] * torque)
+            kernel.scatter_add(system.torques, i, -radii[i][:, None] * torque)
+            kernel.scatter_add(system.torques, j, -radii[j][:, None] * torque)
 
         # Elastic contact energy (normal spring only; damping and sliding
         # friction are dissipative, so total energy is *not* conserved —

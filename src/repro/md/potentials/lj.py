@@ -67,15 +67,24 @@ class LennardJonesCut(AnalyticPairPotential):
             self.shift_table = 4.0 * self.eps_table * (sr6 * sr6 - sr6)
         else:
             self.shift_table = np.zeros_like(self.eps_table)
+        # Single-type systems (the LJ-melt and Chain benchmarks) skip the
+        # per-pair coefficient gathers entirely and use scalars.
+        self.needs_types = self.eps_table.size > 1
 
     def pair_terms(self, r, r2, type_i, type_j, q_i, q_j):
-        eps = self.eps_table[type_i, type_j]
-        sigma = self.sigma_table[type_i, type_j]
+        if self.needs_types:
+            eps = self.eps_table[type_i, type_j]
+            sigma = self.sigma_table[type_i, type_j]
+            shift = self.shift_table[type_i, type_j]
+        else:
+            eps = self.eps_table[0, 0]
+            sigma = self.sigma_table[0, 0]
+            shift = self.shift_table[0, 0]
         inv_r2 = 1.0 / r2
         sr2 = sigma * sigma * inv_r2
         sr6 = sr2 * sr2 * sr2
         sr12 = sr6 * sr6
-        energy = 4.0 * eps * (sr12 - sr6) - self.shift_table[type_i, type_j]
+        energy = 4.0 * eps * (sr12 - sr6) - shift
         f_over_r = 24.0 * eps * (2.0 * sr12 - sr6) * inv_r2
         return energy, f_over_r
 

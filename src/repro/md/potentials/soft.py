@@ -27,6 +27,9 @@ class SoftRepulsion(AnalyticPairPotential):
         Range ``rc`` of the repulsion.
     """
 
+    # Typeless and chargeless: skip both per-pair gathers.
+    needs_types = False
+
     def __init__(self, prefactor: float = 1.0, cutoff: float = 2.0 ** (1.0 / 6.0)):
         if cutoff <= 0:
             raise ValueError("cutoff must be positive")

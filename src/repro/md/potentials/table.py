@@ -32,6 +32,9 @@ class TabulatedPair(AnalyticPairPotential):
         oscillation from inventing attractive cores.
     """
 
+    # A single tabulated curve applies to every pair: no type gathers.
+    needs_types = False
+
     def __init__(
         self,
         r_values: np.ndarray,

@@ -7,7 +7,11 @@ from hypothesis import strategies as st
 
 from repro.md.atoms import AtomSystem
 from repro.md.box import Box
-from repro.md.neighbor import NeighborList, brute_force_pairs
+from repro.md.neighbor import (
+    BRUTE_FORCE_ENV_VAR,
+    NeighborList,
+    brute_force_pairs,
+)
 
 
 def _pair_set(i, j):
@@ -173,3 +177,161 @@ class TestVariants:
         for _ in range(10):
             nlist.ensure(system)
         assert nlist.stats.rebuild_every == pytest.approx(10.0)
+
+
+class TestBruteForceOverride:
+    """`brute_force_max` selects the build path explicitly."""
+
+    def _system(self, n=120, seed=4):
+        rng = np.random.default_rng(seed)
+        box = Box([12.0, 12.0, 12.0])
+        return AtomSystem(rng.uniform(0, 12, (n, 3)), box)
+
+    def test_both_paths_agree_on_small_system(self):
+        system = self._system()
+        cell = NeighborList(1.5, 0.3, brute_force_max=0)  # force cell list
+        brute = NeighborList(1.5, 0.3, brute_force_max=10**9)
+        cell.build(system)
+        brute.build(system)
+        assert _pair_set(cell.pair_i, cell.pair_j) == _pair_set(
+            brute.pair_i, brute.pair_j
+        )
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv(BRUTE_FORCE_ENV_VAR, "17")
+        assert NeighborList(1.5, 0.3).brute_force_max == 17
+        monkeypatch.delenv(BRUTE_FORCE_ENV_VAR)
+        assert NeighborList(1.5, 0.3).brute_force_max == 800
+
+    def test_argument_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv(BRUTE_FORCE_ENV_VAR, "17")
+        assert NeighborList(1.5, 0.3, brute_force_max=5).brute_force_max == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="brute_force_max"):
+            NeighborList(1.5, 0.3, brute_force_max=-1)
+
+
+class TestExclusionFiltering:
+    """The searchsorted-based exclusion mask (regression vs np.isin)."""
+
+    def test_bonded_12_13_pairs_masked_identically(self):
+        # A 4-bead chain with 1-2 and 1-3 exclusions, everything in range.
+        box = Box([20.0, 20.0, 20.0])
+        positions = np.array(
+            [[5.0, 5, 5], [6.0, 5, 5], [7.0, 5, 5], [8.0, 5, 5]]
+        )
+        system = AtomSystem(positions, box)
+        exclusions = np.array([[0, 1], [1, 2], [2, 3], [0, 2], [1, 3]])
+        nlist = NeighborList(3.4, 0.2, exclusions=exclusions)
+        nlist.build(system)
+        kept = _pair_set(nlist.pair_i, nlist.pair_j)
+        assert kept == {(0, 3)}  # only the 1-4 pair survives
+
+    def test_matches_isin_oracle_on_random_lists(self):
+        rng = np.random.default_rng(100)
+        box = Box([14.0, 14.0, 14.0])
+        n = 300
+        system = AtomSystem(rng.uniform(0, 14, (n, 3)), box)
+        raw = NeighborList(2.0, 0.3)
+        raw.build(system)
+        all_pairs = np.column_stack([raw.pair_i, raw.pair_j])
+        # Exclude a random subset of real pairs plus some absent ones.
+        excl = np.vstack(
+            [
+                all_pairs[rng.choice(len(all_pairs), 40, replace=False)],
+                rng.integers(0, n, (20, 2)),
+            ]
+        )
+        nlist = NeighborList(2.0, 0.3, exclusions=excl)
+        nlist.build(system)
+        # np.isin oracle over encoded unordered keys.
+        def encode(i, j):
+            lo, hi = np.minimum(i, j), np.maximum(i, j)
+            return lo * np.int64(n) + hi
+
+        keep = ~np.isin(
+            encode(raw.pair_i, raw.pair_j),
+            np.unique(encode(excl[:, 0], excl[:, 1])),
+        )
+        expected = _pair_set(raw.pair_i[keep], raw.pair_j[keep])
+        assert _pair_set(nlist.pair_i, nlist.pair_j) == expected
+
+
+class TestCSRLayout:
+    """The packed (offsets, neighbors) view published by every build."""
+
+    def _built(self, full=False, n=150, seed=6):
+        rng = np.random.default_rng(seed)
+        box = Box([10.0, 10.0, 10.0])
+        system = AtomSystem(rng.uniform(0, 10, (n, 3)), box)
+        nlist = NeighborList(2.0, 0.3, full=full)
+        nlist.build(system)
+        return nlist, system
+
+    @pytest.mark.parametrize("full", [False, True])
+    def test_csr_consistent_with_flat_pairs(self, full):
+        nlist, system = self._built(full=full)
+        n = system.n_atoms
+        offsets, neighbors = nlist.csr_offsets, nlist.csr_neighbors
+        assert len(offsets) == n + 1
+        assert offsets[0] == 0
+        assert offsets[-1] == len(nlist.pair_i)
+        assert np.all(np.diff(offsets) >= 0)
+        # pair_i must be in CSR row-major order with sorted rows.
+        assert np.all(np.diff(nlist.pair_i) >= 0)
+        rebuilt_i = np.repeat(np.arange(n), np.diff(offsets))
+        assert np.array_equal(rebuilt_i, nlist.pair_i)
+        assert np.array_equal(neighbors, nlist.pair_j)
+        for atom in range(n):
+            row = nlist.neighbors_of(atom)
+            assert np.all(np.diff(row) >= 0)
+
+    def test_full_rows_mirror(self):
+        nlist, system = self._built(full=True)
+        pairs = set(zip(nlist.pair_i.tolist(), nlist.pair_j.tolist()))
+        for a, b in pairs:
+            assert (b, a) in pairs
+        # Each atom's CSR row holds every partner it appears with.
+        for atom in range(system.n_atoms):
+            partners = {b for a, b in pairs if a == atom}
+            assert set(nlist.neighbors_of(atom).tolist()) == partners
+
+
+class TestRandomizedCellListCrossCheck:
+    """Randomized oracle sweep: cell-list pairs == brute-force pairs
+    over random boxes, densities and skins (satellite of the kernel-
+    backend PR; includes the Chute-style ``full=True`` case)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+    def test_random_boxes_densities_skins(self, seed):
+        rng = np.random.default_rng(2_022_000 + seed)
+        lengths = rng.uniform(8.0, 16.0, size=3)
+        box = Box(lengths)
+        density = rng.uniform(0.2, 0.9)
+        # Cap n so the O(N^2) brute-force oracle stays cheap.
+        n = min(1500, max(50, int(density * box.volume)))
+        positions = rng.uniform(0, 1, (n, 3)) * lengths
+        system = AtomSystem(positions, box)
+        cutoff = rng.uniform(1.0, 1.8)
+        skin = rng.uniform(0.05, 0.5)
+        full = bool(seed % 2)  # alternate half/full flavours
+        nlist = NeighborList(cutoff, skin, full=full, brute_force_max=0)
+        nlist.build(system)
+        bi, bj = brute_force_pairs(
+            box.wrap(system.positions), box, cutoff + skin
+        )
+        assert _pair_set(nlist.pair_i, nlist.pair_j) == _pair_set(bi, bj)
+        if full:
+            assert len(nlist.pair_i) == 2 * len(bi)
+
+    def test_chute_like_full_list(self):
+        rng = np.random.default_rng(321)
+        box = Box([11.0, 11.0, 18.0], periodic=[True, True, False])
+        positions = rng.uniform(0, 1, (900, 3)) * box.lengths
+        system = AtomSystem(positions, box, radii=np.full(900, 0.5))
+        nlist = NeighborList(1.0, 0.1, full=True, brute_force_max=0)
+        nlist.build(system)
+        bi, bj = brute_force_pairs(box.wrap(system.positions), box, 1.1)
+        assert _pair_set(nlist.pair_i, nlist.pair_j) == _pair_set(bi, bj)
+        assert len(nlist.pair_i) == 2 * len(bi)

@@ -114,3 +114,29 @@ class TestSimulation:
 
         rhodo = get_benchmark("rhodo").build(120)
         assert rhodo.n_constraints > 0
+
+
+class TestPerTaskAccounting:
+    """The engine's Figure 3-style breakdown accounts for every second."""
+
+    def test_task_times_sum_to_step_time(self):
+        sim = _sim()
+        sim.run(8)
+        # "Other" absorbs the untimed remainder of each step, so the
+        # eight task timers together equal the measured step wall-clock.
+        assert sim.timers.total == pytest.approx(sim.step_seconds, rel=1e-9)
+        assert sim.step_seconds > 0.0
+
+    def test_other_task_is_populated(self):
+        sim = _sim()
+        sim.run(8)
+        assert sim.timers.seconds["Other"] >= 0.0
+        breakdown = sim.task_breakdown()
+        assert set(breakdown) == set(TASKS)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_breakdown_has_pair_and_neigh_signal(self):
+        sim = _sim()
+        sim.run(8)
+        assert sim.timers.seconds["Pair"] > 0.0
+        assert sim.timers.seconds["Neigh"] > 0.0
