@@ -13,6 +13,9 @@ Usage::
     python benchmarks/bench_kernels.py            # full run (~minutes)
     python benchmarks/bench_kernels.py --quick    # 4k atoms only (CI smoke)
     python benchmarks/bench_kernels.py --out PATH # custom output location
+    python benchmarks/bench_kernels.py --trace DIR # also write Chrome
+                                                   # traces of the
+                                                   # full-step sections
 
 The harness is a plain script (not a pytest module) so it can run
 without the test extras installed.
@@ -109,7 +112,13 @@ def _granular_case(n: int):
 _CASES = {"lj": _lj_case, "eam": _eam_case, "granular": _granular_case}
 
 
-def run(sizes: list[int], *, quick: bool, verbose: bool = True) -> dict:
+def run(
+    sizes: list[int],
+    *,
+    quick: bool,
+    verbose: bool = True,
+    trace_dir: Path | None = None,
+) -> dict:
     backends = available_backends()
     results: list[dict] = []
     eval_reps = 2 if quick else 3
@@ -202,6 +211,10 @@ def run(sizes: list[int], *, quick: bool, verbose: bool = True) -> dict:
                     skin=0.3,
                     backend=backend_name,
                 )
+                if trace_dir is not None:
+                    from repro.observability import Tracer
+
+                    sim.attach_tracer(Tracer())
                 sim.setup()
                 # Time fresh post-setup steps: no rebuild lands inside
                 # the window (half-skin takes ~25 melt steps to cross).
@@ -212,6 +225,13 @@ def run(sizes: list[int], *, quick: bool, verbose: bool = True) -> dict:
                     backend=backend_name, pairs=len(sim.neighbor.pair_i),
                     **timing,
                 )
+                if trace_dir is not None:
+                    path = sim.tracer.write_chrome_trace(
+                        trace_dir / f"full_step_{bench}_n{n_atoms}_{backend_name}.json",
+                        process_name=f"bench:{bench}:{backend_name}",
+                    )
+                    if verbose:
+                        print(f"  trace -> {path}", flush=True)
 
     return {
         "schema": "repro-bench-kernels/1",
@@ -266,14 +286,23 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "BENCH_kernels.json",
         help="output JSON path (default: BENCH_kernels.json at repo root)",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also write Chrome traces of the full-step sections to DIR",
+    )
     args = parser.parse_args(argv)
 
     # Fail on an unwritable destination now, not after minutes of timing.
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.touch()
+    if args.trace is not None:
+        args.trace.mkdir(parents=True, exist_ok=True)
 
     sizes = [4096] if args.quick else [4096, 32768]
-    report = run(sizes, quick=args.quick)
+    report = run(sizes, quick=args.quick, trace_dir=args.trace)
 
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")

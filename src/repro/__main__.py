@@ -7,7 +7,10 @@ Commands mirror the workflow of the authors' run/profile scripts:
 * ``figure``  — regenerate one paper table/figure as a text table;
 * ``anchors`` — print the paper-vs-measured anchor scoreboard;
 * ``run-deck`` — parse and execute a LAMMPS input deck (the supported
-  command subset, see ``repro.md.deck``).
+  command subset, see ``repro.md.deck``);
+* ``trace``   — run a functional benchmark under the span tracer and
+  write a Chrome trace, metrics snapshots and the timing tables (see
+  ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -22,7 +25,7 @@ from repro.core.artifact import ArtifactLayout
 from repro.core.experiment import Mode, sweep
 from repro.core.runner import run_experiment
 from repro.perfmodel.workloads import GPU_COUNTS, RANK_COUNTS, SIZES_K
-from repro.suite import CPU_BENCHMARKS, GPU_BENCHMARKS
+from repro.suite import BENCHMARK_NAMES, CPU_BENCHMARKS, GPU_BENCHMARKS
 
 FIGURES = (
     "table2",
@@ -113,6 +116,58 @@ def _cmd_run_deck(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observability import (
+        MetricsRegistry,
+        Tracer,
+        render_agreement,
+        render_span_table,
+        render_task_table,
+    )
+    from repro.suite import get_benchmark
+
+    bench = get_benchmark(args.experiment)
+    tracer = Tracer(capacity=args.capacity)
+    metrics = MetricsRegistry()
+    sim = bench.build_instrumented(args.atoms, tracer=tracer, metrics=metrics)
+    print(f"built {args.experiment}: {sim.system.n_atoms} atoms, "
+          f"backend {sim.backend.name}")
+    if args.warmup:
+        sim.run(args.warmup)
+    tracer.reset()
+
+    out = Path(args.out)
+    metrics_path = out / "metrics.jsonl"
+    if metrics_path.exists():
+        metrics_path.unlink()  # JSONL appends; start each invocation fresh
+    print(f"tracing {args.steps} steps ...")
+    chunk = max(1, min(args.snapshot_every, args.steps))
+    done = 0
+    while done < args.steps:
+        n = min(chunk, args.steps - done)
+        sim.run(n, reset_timers=done == 0)
+        done += n
+        metrics.write_snapshot(metrics_path, step=done, experiment=args.experiment)
+
+    trace_path = tracer.write_chrome_trace(
+        out / "trace.json", process_name=f"repro:{args.experiment}"
+    )
+    print()
+    print(render_task_table(sim.timers, args.steps))
+    print()
+    print(render_span_table(tracer))
+    print()
+    print(tracer.flame_report())
+    print()
+    print(render_agreement(sim.timers, tracer))
+    if tracer.n_dropped:
+        print(f"ring buffer wrapped: {tracer.n_dropped} oldest spans dropped "
+              f"(raise --capacity to keep them)")
+    print(f"wrote {trace_path} (open in chrome://tracing or ui.perfetto.dev)")
+    print(f"wrote {metrics_path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -140,6 +195,20 @@ def main(argv: list[str] | None = None) -> int:
     run_deck = sub.add_parser("run-deck", help="execute a LAMMPS input deck")
     run_deck.add_argument("deck", help="path to the input script")
     run_deck.set_defaults(func=_cmd_run_deck)
+
+    trace = sub.add_parser("trace", help="trace a functional benchmark run")
+    trace.add_argument("experiment", choices=BENCHMARK_NAMES)
+    trace.add_argument("--steps", type=int, default=50)
+    trace.add_argument("--atoms", type=int, default=500,
+                       help="target atom count (builders round to lattice)")
+    trace.add_argument("--warmup", type=int, default=5,
+                       help="untraced steps before recording starts")
+    trace.add_argument("--out", default="trace_out")
+    trace.add_argument("--capacity", type=int, default=65_536,
+                       help="span ring-buffer capacity")
+    trace.add_argument("--snapshot-every", type=int, default=10,
+                       help="steps between metrics snapshots")
+    trace.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)
     return args.func(args)

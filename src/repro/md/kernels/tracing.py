@@ -1,0 +1,47 @@
+"""Span-tracing decorator around any kernel backend.
+
+The Pair task dominates MD wall-clock (Table 1), so seeing *inside* it
+matters: this wrapper records one ``"kernel"``-category span per
+backend primitive — pair-geometry gather, force accumulation, generic
+scatter — around whatever backend the simulation selected.  It is only
+installed when tracing is enabled, so the disabled-tracer hot path runs
+the raw backend with zero indirection.
+"""
+
+from __future__ import annotations
+
+from repro.md.kernels.base import KernelBackend
+from repro.observability.tracer import Tracer
+
+__all__ = ["TracingBackend"]
+
+
+class TracingBackend(KernelBackend):
+    """Delegating backend that wraps each primitive in a tracer span."""
+
+    def __init__(self, inner: KernelBackend, tracer: Tracer) -> None:
+        if isinstance(inner, TracingBackend):
+            inner = inner.inner
+        #: The real backend doing the work (scratch buffers live there).
+        self.inner = inner
+        self.tracer = tracer
+        self.name = f"{inner.name}+trace"
+
+    def current_pairs(self, system, neighbors, cutoff=None):
+        with self.tracer.span("kernel.current_pairs", "kernel"):
+            return self.inner.current_pairs(system, neighbors, cutoff)
+
+    def scatter_add(self, out, index, values):
+        with self.tracer.span("kernel.scatter_add", "kernel"):
+            self.inner.scatter_add(out, index, values)
+
+    def accumulate_pair_forces(self, forces, i, j, fvec):
+        with self.tracer.span("kernel.accumulate", "kernel"):
+            self.inner.accumulate_pair_forces(forces, i, j, fvec)
+
+    def accumulate_scaled_pair_forces(self, forces, i, j, dr, f_over_r):
+        with self.tracer.span("kernel.accumulate", "kernel"):
+            self.inner.accumulate_scaled_pair_forces(forces, i, j, dr, f_over_r)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TracingBackend inner={self.inner!r}>"

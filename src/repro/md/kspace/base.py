@@ -20,6 +20,7 @@ from scipy.special import erf
 
 from repro.md.atoms import AtomSystem
 from repro.md.potentials.base import ForceResult
+from repro.observability.tracer import NULL_TRACER
 
 __all__ = ["KSpaceSolver"]
 
@@ -56,6 +57,9 @@ class KSpaceSolver(abc.ABC):
             if exclusions is None or len(exclusions) == 0
             else np.asarray(exclusions, dtype=np.int64).reshape(-1, 2)
         )
+        #: Span sink for solver phases; the shared no-op unless the
+        #: owning :class:`~repro.md.simulation.Simulation` attaches one.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     def check_neutrality(self, system: AtomSystem, tol: float = 1e-8) -> None:

@@ -101,16 +101,18 @@ class EwaldSummation(KSpaceSolver):
         if len(kvecs) == 0:
             return ForceResult(self.self_energy(system), 0.0, 0)
 
+        tracer = self.tracer
         volume = system.box.volume
         k2 = np.einsum("ij,ij->i", kvecs, kvecs)
         gauss = np.exp(-k2 / (4.0 * self.alpha**2)) / k2
 
-        phases = system.positions @ kvecs.T  # (N, K)
-        cos_p = np.cos(phases)
-        sin_p = np.sin(phases)
-        q = system.charges
-        re_s = q @ cos_p  # (K,)
-        im_s = q @ sin_p
+        with tracer.span("kspace.structure_factor", "kspace"):
+            phases = system.positions @ kvecs.T  # (N, K)
+            cos_p = np.cos(phases)
+            sin_p = np.sin(phases)
+            q = system.charges
+            re_s = q @ cos_p  # (K,)
+            im_s = q @ sin_p
 
         prefactor = 4.0 * math.pi * self.coulomb_constant / volume
         # Half-space sum: each k stands for the +/- pair, hence factor 2.
@@ -118,9 +120,10 @@ class EwaldSummation(KSpaceSolver):
 
         # F_j = 2 * prefactor * q_j sum_k (k/k^2) e^{-k^2/4a^2}
         #       [sin(k.r_j) Re S - cos(k.r_j) Im S]
-        weight = (sin_p * re_s[None, :] - cos_p * im_s[None, :]) * gauss[None, :]
-        forces = 2.0 * prefactor * q[:, None] * (weight @ kvecs)
-        system.forces += forces
+        with tracer.span("kspace.forces", "kspace"):
+            weight = (sin_p * re_s[None, :] - cos_p * im_s[None, :]) * gauss[None, :]
+            forces = 2.0 * prefactor * q[:, None] * (weight @ kvecs)
+            system.forces += forces
 
         # Reciprocal-space virial for an isotropic system: the textbook
         # trace formula sum_k (3 - k^2/(2 alpha^2) - 3 k^2/k^2 ...) reduces
@@ -135,5 +138,6 @@ class EwaldSummation(KSpaceSolver):
         # against the energy-volume derivative.)
 
         result = ForceResult(energy + self.self_energy(system), virial, len(kvecs))
-        result += self.excluded_pair_correction(system)
+        with tracer.span("kspace.corrections", "kspace"):
+            result += self.excluded_pair_correction(system)
         return result

@@ -216,9 +216,12 @@ class PPPM(KSpaceSolver):
         self.check_neutrality(system)
         self._ensure_setup(system)
         assert self._green is not None and self._kcomp is not None
+        tracer = self.tracer
 
-        rho, nodes_list, weights_list = self._assign_charges(system)
-        rho_hat = np.fft.fftn(rho)
+        with tracer.span("kspace.assign", "kspace"):
+            rho, nodes_list, weights_list = self._assign_charges(system)
+        with tracer.span("kspace.fft_forward", "kspace"):
+            rho_hat = np.fft.fftn(rho)
 
         # Energy: (1/2) sum_k G(k) |rho_hat|^2  (G folds 4 pi C / V k^2).
         green = self._green
@@ -234,29 +237,32 @@ class PPPM(KSpaceSolver):
         phi_hat = green * rho_hat
         n_total = self.grid_points
         fields = []
-        for kc in self._kcomp:
-            field = -np.real(np.fft.ifftn(1j * kc * phi_hat)) * n_total
-            fields.append(field)
+        with tracer.span("kspace.fft_inverse", "kspace"):
+            for kc in self._kcomp:
+                field = -np.real(np.fft.ifftn(1j * kc * phi_hat)) * n_total
+                fields.append(field)
 
         # Interpolate fields back to particles with the same stencil.
         p = self.order
         n_atoms = system.n_atoms
         efield = np.zeros((n_atoms, 3))
-        for a in range(p):
-            wa = weights_list[0][:, a]
-            na = nodes_list[0][:, a]
-            for b in range(p):
-                wab = wa * weights_list[1][:, b]
-                nb = nodes_list[1][:, b]
-                for c in range(p):
-                    w = wab * weights_list[2][:, c]
-                    idx = (na, nb, nodes_list[2][:, c])
-                    for comp in range(3):
-                        efield[:, comp] += w * fields[comp][idx]
-        system.forces += system.charges[:, None] * efield
+        with tracer.span("kspace.interpolate", "kspace"):
+            for a in range(p):
+                wa = weights_list[0][:, a]
+                na = nodes_list[0][:, a]
+                for b in range(p):
+                    wab = wa * weights_list[1][:, b]
+                    nb = nodes_list[1][:, b]
+                    for c in range(p):
+                        w = wab * weights_list[2][:, c]
+                        idx = (na, nb, nodes_list[2][:, c])
+                        for comp in range(3):
+                            efield[:, comp] += w * fields[comp][idx]
+            system.forces += system.charges[:, None] * efield
 
         result = ForceResult(
             energy + self.self_energy(system), virial, self.grid_points
         )
-        result += self.excluded_pair_correction(system)
+        with tracer.span("kspace.corrections", "kspace"):
+            result += self.excluded_pair_correction(system)
         return result

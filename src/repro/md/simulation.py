@@ -23,7 +23,7 @@ that calibrate the performance model.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -35,10 +35,12 @@ from repro.md.fixes import Fix
 from repro.md.integrators import Integrator, NoseHooverNPT, VelocityVerletNVE
 from repro.md.kernels import KernelBackend, get_backend
 from repro.md.kspace.base import KSpaceSolver
+from repro.md.kernels.tracing import TracingBackend
 from repro.md.neighbor import NeighborList
 from repro.md.potentials.base import PairPotential
 from repro.md.thermo import ThermoLog
 from repro.md.timers import TaskTimers
+from repro.observability import MetricsRegistry, resolve_tracer
 
 __all__ = ["Simulation", "OperationCounts"]
 
@@ -95,6 +97,18 @@ class Simulation:
         to fall back to ``$REPRO_KERNEL_BACKEND`` and then the default.
         One backend instance (and hence one set of scratch buffers) is
         shared by every potential of the simulation.
+    tracer:
+        Span tracer recording the step timeline — a
+        :class:`~repro.observability.Tracer`, ``True`` for a fresh
+        default one, or ``None`` to consult ``$REPRO_TRACE`` and fall
+        back to the zero-cost disabled tracer.  When enabled, every
+        timestep phase, kernel-backend call, neighbor rebuild and
+        k-space stage is recorded (Chrome-trace exportable).
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`; when
+        given, each step updates step-duration histograms and work
+        gauges (pair interactions, rebuild cadence, energy drift, SHAKE
+        iterations, kernel scratch growth).
     """
 
     def __init__(
@@ -112,19 +126,27 @@ class Simulation:
         exclusions: np.ndarray | None = None,
         thermo_every: int = 100,
         backend: KernelBackend | str | None = None,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.system = system
         self.potentials = list(potentials)
+        self.tracer = resolve_tracer(tracer)
+        self.metrics = metrics
         self.backend = get_backend(backend)
+        if self.tracer.enabled:
+            self.backend = TracingBackend(self.backend, self.tracer)
         for potential in self.potentials:
             potential.backend = self.backend
         self.bonded = list(bonded)
         self.kspace = kspace
+        if kspace is not None:
+            kspace.tracer = self.tracer
         self.integrator = integrator if integrator is not None else VelocityVerletNVE()
         self.fixes = list(fixes)
         self.constraints = constraints
         self.dt = float(dt)
-        self.timers = TaskTimers()
+        self.timers = TaskTimers(tracer=self.tracer)
         self.counts = OperationCounts()
         self.thermo = ThermoLog(every=thermo_every)
         #: Total wall-clock spent inside :meth:`step` — by construction
@@ -143,7 +165,9 @@ class Simulation:
         self.neighbor = NeighborList(
             cutoff, skin, full=full, exclusions=exclusions
         )
+        self.neighbor.tracer = self.tracer
         self._setup_done = False
+        self._initial_energy: float | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -210,7 +234,10 @@ class Simulation:
         breakdown sums exactly to the measured step wall-clock (the
         same bookkeeping LAMMPS' timing table uses).
         """
+        tracer = self.tracer
         step_start = time.perf_counter()
+        if tracer.enabled:
+            tracer.begin("step", "step", ts=step_start)
         timed_before = self.timers.total
         if not self._setup_done:
             self.setup()
@@ -259,17 +286,94 @@ class Simulation:
 
         # Book the untimed remainder of the step as "Other" so the task
         # breakdown accounts for 100% of the step wall-clock.
-        elapsed = time.perf_counter() - step_start
+        step_end = time.perf_counter()
+        elapsed = step_end - step_start
         timed_delta = self.timers.total - timed_before
         self.timers.seconds["Other"] += max(0.0, elapsed - timed_delta)
         self.step_seconds += max(elapsed, timed_delta)
+        if tracer.enabled:
+            tracer.end(ts=step_end)
+        if self.metrics is not None:
+            self._record_step_metrics(elapsed)
 
-    def run(self, n_steps: int) -> None:
-        """Run ``n_steps`` timesteps."""
+    def run(self, n_steps: int, *, reset_timers: bool = False) -> None:
+        """Run ``n_steps`` timesteps.
+
+        ``reset_timers=True`` clears the task breakdown (and the
+        accumulated ``step_seconds``) first, so warmup/equilibration
+        steps don't pollute the fractions this run reports — operation
+        counters and thermodynamic state are left untouched.
+        """
         if n_steps < 0:
             raise ValueError("n_steps must be non-negative")
+        if reset_timers:
+            self.reset_timers()
         for _ in range(n_steps):
             self.step()
+
+    def reset_timers(self) -> None:
+        """Zero the per-task timers and the step wall-clock accumulator."""
+        self.timers.reset()
+        self.step_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """(Re)wire a span tracer through every instrumented layer.
+
+        Accepts the same specs as the constructor's ``tracer`` argument;
+        useful for instrumenting a simulation a suite builder already
+        assembled.  Passing ``None`` (with ``$REPRO_TRACE`` unset)
+        detaches tracing and unwraps the kernel backend.
+        """
+        tracer = resolve_tracer(tracer)
+        self.tracer = tracer
+        self.timers.tracer = tracer
+        self.neighbor.tracer = tracer
+        if self.kspace is not None:
+            self.kspace.tracer = tracer
+        inner = getattr(self.backend, "inner", self.backend)
+        self.backend = TracingBackend(inner, tracer) if tracer.enabled else inner
+        for potential in self.potentials:
+            potential.backend = self.backend
+
+    def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
+        """Attach (or detach, with ``None``) a metrics registry."""
+        self.metrics = metrics
+
+    def _record_step_metrics(self, elapsed: float) -> None:
+        """Per-step registry update (only runs with metrics attached)."""
+        metrics = self.metrics
+        metrics.counter("md_steps_total").inc()
+        metrics.histogram("md_step_seconds").observe(elapsed)
+        metrics.counter("md_pair_interactions_total").sync_total(
+            self.counts.pair_interactions
+        )
+        metrics.counter("md_neighbor_builds_total").sync_total(
+            self.counts.neighbor_builds
+        )
+        stats = self.neighbor.stats
+        metrics.gauge("md_neighbor_pairs").set(stats.last_pairs)
+        metrics.gauge("md_neighbor_rebuild_every").set(
+            0.0 if stats.n_builds == 0 else stats.total_steps / stats.n_builds
+        )
+        total_energy = self.total_energy()
+        if self._initial_energy is None:
+            self._initial_energy = total_energy
+        denom = abs(self._initial_energy)
+        metrics.gauge("md_energy_drift_rel").set(
+            (total_energy - self._initial_energy) / denom if denom > 0 else 0.0
+        )
+        if self.constraints is not None:
+            metrics.counter("md_shake_iterations_total").sync_total(
+                self.counts.shake_iterations
+            )
+            metrics.gauge("md_shake_iterations_last").set(
+                self.constraints.last_iterations
+            )
+        inner = getattr(self.backend, "inner", self.backend)
+        metrics.gauge("md_kernel_scratch_capacity_pairs").set(
+            getattr(inner, "_capacity", 0)
+        )
 
     # ------------------------------------------------------------------
     def total_energy(self) -> float:

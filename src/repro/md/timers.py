@@ -14,6 +14,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.observability.tracer import NULL_TRACER
+
 __all__ = ["TASKS", "TaskTimers"]
 
 #: The LAMMPS timing categories of Table 1, in the paper's plot order.
@@ -22,22 +24,36 @@ TASKS = ("Bond", "Comm", "Kspace", "Modify", "Neigh", "Other", "Output", "Pair")
 
 @dataclass
 class TaskTimers:
-    """Accumulated wall-clock seconds per task."""
+    """Accumulated wall-clock seconds per task.
+
+    When :attr:`tracer` is an enabled span tracer, every timed region is
+    also recorded as a ``"task"``-category span — reusing the timestamps
+    the timer already takes, so tracing adds no extra clock reads and
+    the span totals match the accumulated seconds by construction.
+    """
 
     seconds: dict[str, float] = field(
         default_factory=lambda: {task: 0.0 for task in TASKS}
     )
+    #: Span sink for the timed regions; the shared no-op by default.
+    tracer: object = field(default=NULL_TRACER, repr=False, compare=False)
 
     @contextmanager
     def time(self, task: str) -> Iterator[None]:
         """Context manager accumulating elapsed time into ``task``."""
         if task not in self.seconds:
             raise KeyError(f"unknown task {task!r}; expected one of {TASKS}")
+        tracer = self.tracer
         start = time.perf_counter()
+        if tracer.enabled:
+            tracer.begin(task, "task", ts=start)
         try:
             yield
         finally:
-            self.seconds[task] += time.perf_counter() - start
+            end = time.perf_counter()
+            self.seconds[task] += end - start
+            if tracer.enabled:
+                tracer.end(ts=end)
 
     @property
     def total(self) -> float:

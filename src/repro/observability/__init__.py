@@ -1,0 +1,66 @@
+"""Observability layer: structured tracing, metrics, rank timelines.
+
+The paper's whole contribution is measurement; this package gives the
+reproduction the same power over itself:
+
+* :mod:`repro.observability.tracer` — a low-overhead span tracer with a
+  preallocated ring buffer.  The engine instruments every timestep
+  phase, kernel-backend call, neighbor rebuild and k-space stage;
+  export is Chrome trace-event JSON (``chrome://tracing`` / Perfetto)
+  or a flamegraph-style text report.  Disabled by default and free when
+  disabled (the :data:`NULL_TRACER` singleton); enable per run with
+  ``Simulation(tracer=...)`` or globally with ``REPRO_TRACE=1``.
+* :mod:`repro.observability.metrics` — a counters/gauges/histograms
+  registry fed by the engine's operation counts, neighbor cadence,
+  energy drift, SHAKE iterations and kernel scratch growth, with JSONL
+  snapshot export.
+* :mod:`repro.observability.timeline` — per-rank timelines for the
+  simulated MPI layer, so Figure 4's imbalance is computed from
+  recorded spans rather than only the analytic model.
+* :mod:`repro.observability.report` — LAMMPS-style timing tables and
+  the trace-vs-timer agreement check.
+
+Entry point: ``python -m repro trace lj --steps 50`` records one short
+experiment and writes the trace, metrics snapshot and timing table.
+"""
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.report import (
+    render_agreement,
+    render_span_table,
+    render_task_table,
+    trace_timer_agreement,
+)
+from repro.observability.timeline import RankSpan, RankTimeline
+from repro.observability.tracer import (
+    NULL_TRACER,
+    TRACE_ENV_VAR,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    resolve_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TRACE_ENV_VAR",
+    "SpanRecord",
+    "resolve_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RankSpan",
+    "RankTimeline",
+    "render_task_table",
+    "render_span_table",
+    "render_agreement",
+    "trace_timer_agreement",
+]

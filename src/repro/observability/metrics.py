@@ -1,0 +1,199 @@
+"""Metrics registry: counters, gauges and histograms with JSONL export.
+
+The tracer (:mod:`repro.observability.tracer`) answers *when* time was
+spent; this registry answers *how much work* was done — pair
+interactions, neighbor rebuild cadence, energy drift, SHAKE iterations,
+kernel scratch growth.  The shapes follow the Prometheus conventions
+(monotonic counters, point-in-time gauges, bucketed histograms) without
+any client dependency: a snapshot is a plain JSON-safe dict, and
+:meth:`MetricsRegistry.write_snapshot` appends snapshots to a JSONL
+file so a run leaves a replayable metrics timeline next to its trace.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram buckets: log-spaced seconds from 1 us to 100 s,
+#: wide enough for anything from a null-span to a 32k-atom neighbor
+#: rebuild.
+DEFAULT_BUCKETS = tuple(
+    float(f"{mantissa}e{exponent}")
+    for exponent in range(-6, 3)
+    for mantissa in (1, 2, 5)
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge")
+        self.value += amount
+
+    def sync_total(self, total: float) -> None:
+        """Adopt a cumulative total kept elsewhere (must not decrease).
+
+        The engine's :class:`~repro.md.simulation.OperationCounts` are
+        already cumulative; this lets the registry mirror them without
+        double bookkeeping.
+        """
+        if total < self.value:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease ({self.value} -> {total})"
+            )
+        self.value = float(total)
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Point-in-time value (may go up or down)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Bucketed distribution with sum/count/min/max.
+
+    ``buckets`` are upper bounds (ascending); an implicit +inf bucket
+    catches the overflow, mirroring Prometheus ``le`` semantics with
+    non-cumulative per-bucket counts.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be strictly ascending")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": [
+                {"le": bound, "count": count}
+                for bound, count in zip((*self.bounds, None), self.counts)
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Named metric instruments with get-or-create semantics.
+
+    ``registry.counter("md_steps_total").inc()`` is the whole API: the
+    first call creates the instrument, later calls return it, and a
+    name collision across *kinds* is an error (the usual silent-footgun
+    in ad-hoc metric dicts).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, cls, name: str, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help=help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] | None = None
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help=help, buckets=buckets)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._metrics))
+
+    def snapshot(self) -> dict:
+        """All instruments as one JSON-safe dict (sorted by name)."""
+        return {name: self._metrics[name].snapshot() for name in self.names()}
+
+    def write_snapshot(
+        self, path: str | Path, *, step: int | None = None, **extra
+    ) -> Path:
+        """Append one snapshot line to a JSONL file; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record: dict = {}
+        if step is not None:
+            record["step"] = step
+        record.update(extra)
+        record["metrics"] = self.snapshot()
+        with path.open("a") as handle:
+            handle.write(json.dumps(record) + "\n")
+        return path

@@ -1,0 +1,98 @@
+"""Text reports over timers and traces: the LAMMPS-style timing table.
+
+LAMMPS prints an "MPI task timing breakdown" at the end of every run —
+the table the paper's Table 1 categories come from.  These renderers
+produce the same shape from a :class:`~repro.md.timers.TaskTimers`, a
+per-span summary table from a :class:`~repro.observability.tracer.Tracer`,
+and the trace-vs-timer agreement check the acceptance criterion pins.
+"""
+
+from __future__ import annotations
+
+from repro.observability.tracer import Tracer
+
+__all__ = [
+    "render_task_table",
+    "render_span_table",
+    "trace_timer_agreement",
+    "render_agreement",
+]
+
+
+def render_task_table(timers, n_steps: int) -> str:
+    """LAMMPS-style per-task timing table for one run.
+
+    ``timers`` is any object with a ``seconds`` task->seconds dict (a
+    :class:`~repro.md.timers.TaskTimers`).
+    """
+    total = sum(timers.seconds.values())
+    steps = max(1, int(n_steps))
+    lines = [
+        f"Task timing breakdown ({n_steps} steps, {total:.4f} s total):",
+        f"{'Section':<10s}| {'time (s)':>10s} | {'ms/step':>9s} | {'%total':>6s}",
+        "-" * 44,
+    ]
+    for task in sorted(timers.seconds, key=lambda t: -timers.seconds[t]):
+        seconds = timers.seconds[task]
+        share = 100.0 * seconds / total if total > 0 else 0.0
+        lines.append(
+            f"{task:<10s}| {seconds:>10.4f} | {1e3 * seconds / steps:>9.4f} "
+            f"| {share:>6.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_span_table(tracer: Tracer, *, limit: int = 20) -> str:
+    """Aggregate span table: name, category, count, total/mean time."""
+    rows = tracer.span_summary()
+    total = sum(row["total_s"] for row in rows if row["cat"] == "step")
+    lines = [
+        "Span summary:",
+        f"{'span':<26s}{'cat':<9s}{'count':>7s} {'total (s)':>10s} "
+        f"{'mean (us)':>10s} {'%step':>6s}",
+        "-" * 72,
+    ]
+    for row in rows[:limit]:
+        share = 100.0 * row["total_s"] / total if total > 0 else 0.0
+        lines.append(
+            f"{row['name']:<26s}{row['cat']:<9s}{row['count']:>7d} "
+            f"{row['total_s']:>10.4f} {row['mean_s'] * 1e6:>10.1f} {share:>6.1f}"
+        )
+    if len(rows) > limit:
+        lines.append(f"... {len(rows) - limit} more span names")
+    return "\n".join(lines)
+
+
+def trace_timer_agreement(timers, tracer: Tracer) -> dict[str, float]:
+    """Absolute per-task share difference between trace and timers.
+
+    Both sides are normalized to fractions of their own totals (the
+    trace's "Other" is derived as step-span time not covered by task
+    spans, mirroring the engine's bookkeeping), so the dict reports the
+    quantity the acceptance criterion bounds at 0.02.
+    """
+    span_totals = dict(tracer.task_totals())
+    step_total = tracer.totals_by_name(cat="step").get("step", 0.0)
+    covered = sum(span_totals.values()) - span_totals.get("Other", 0.0)
+    if step_total > 0.0:
+        span_totals["Other"] = span_totals.get("Other", 0.0) + max(
+            0.0, step_total - covered
+        )
+    trace_total = sum(span_totals.values())
+    timer_total = sum(timers.seconds.values())
+    deltas: dict[str, float] = {}
+    for task in timers.seconds:
+        trace_frac = span_totals.get(task, 0.0) / trace_total if trace_total else 0.0
+        timer_frac = timers.seconds[task] / timer_total if timer_total else 0.0
+        deltas[task] = abs(trace_frac - timer_frac)
+    return deltas
+
+
+def render_agreement(timers, tracer: Tracer) -> str:
+    """Human-readable trace-vs-timer agreement line."""
+    deltas = trace_timer_agreement(timers, tracer)
+    worst = max(deltas, key=deltas.get)
+    return (
+        f"trace/timer agreement: max per-task share delta "
+        f"{100.0 * deltas[worst]:.2f}% ({worst})"
+    )

@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.observability.timeline import RankTimeline
+from repro.observability.tracer import NULL_TRACER, resolve_tracer
 from repro.parallel.decomposition import SubdomainGeometry
 from repro.parallel.mpi_model import MpiModel, MpiTimes
 from repro.perfmodel.costs import CpuCostModel, kspace_grid
@@ -66,6 +68,8 @@ class CpuRunResult:
     #: Resident memory estimate in bytes.
     memory_bytes: float
     per_rank_compute_seconds: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    #: Per-rank span timeline the imbalance figures aggregate over.
+    timeline: RankTimeline | None = field(repr=False, default=None)
 
     def task_fractions(self) -> dict[str, float]:
         total = sum(self.task_seconds.values())
@@ -105,6 +109,7 @@ def simulate_cpu_run(
     instance: InstanceSpec = CPU_INSTANCE,
     cost_model: CpuCostModel | None = None,
     mpi_model: MpiModel | None = None,
+    tracer: object = None,
 ) -> CpuRunResult:
     """Model one run of ``benchmark`` with ``n_atoms`` on ``n_ranks`` cores.
 
@@ -190,11 +195,27 @@ def simulate_cpu_run(
         "Pair": compute.pair,
     }
 
+    # Build the per-rank timeline the imbalance figures aggregate over:
+    # every rank computes, waits at the implicit barrier until the
+    # slowest rank arrives, then all ranks pay the uniform comm cost.
+    # Figure 4's imbalance is the mean recorded wait span, which equals
+    # the analytic ``mpi_times.imbalance`` because the spans store the
+    # model's per-rank durations verbatim.
+    timeline = RankTimeline.from_model(
+        per_rank_compute,
+        mpi_times.wait_per_rank,
+        comm_seconds=uniform_comm,
+    )
     profiled_total = step_seconds + init
     mpi_fraction = mpi_times.total / profiled_total if n_ranks > 1 else 0.0
     imbalance_fraction = (
-        mpi_times.imbalance / profiled_total if n_ranks > 1 else 0.0
+        timeline.imbalance_seconds() / profiled_total if n_ranks > 1 else 0.0
     )
+    # Env resolution is deliberately skipped here: an env-created tracer
+    # would be invisible to the caller, so only an explicit one records.
+    run_tracer = resolve_tracer(tracer) if tracer is not None else NULL_TRACER
+    if run_tracer.enabled:
+        timeline.export(run_tracer)
 
     busy = float(np.mean(per_rank_compute)) / step_seconds
     utilization = min(1.0, workload.core_utilization * busy**0.3)
@@ -217,4 +238,5 @@ def simulate_cpu_run(
         core_utilization=utilization,
         memory_bytes=workload.memory_bytes(n_atoms),
         per_rank_compute_seconds=per_rank_compute,
+        timeline=timeline,
     )

@@ -66,3 +66,25 @@ class BenchmarkDefinition:
     @property
     def name(self) -> str:
         return self.taxonomy.name
+
+    def build_instrumented(
+        self,
+        n_atoms: int | None = None,
+        *,
+        tracer: object = None,
+        metrics: object = None,
+        **kwargs,
+    ) -> Simulation:
+        """Build the benchmark with observability hooks attached.
+
+        ``tracer`` accepts anything :func:`repro.observability.tracer.
+        resolve_tracer` does (an instance, ``True``, or ``None`` for the
+        ``REPRO_TRACE`` environment default); ``metrics`` is an optional
+        :class:`~repro.observability.metrics.MetricsRegistry`.
+        """
+        sim = self.build(n_atoms, **kwargs) if n_atoms is not None else self.build(**kwargs)
+        if tracer is not None:
+            sim.attach_tracer(tracer)
+        if metrics is not None:
+            sim.attach_metrics(metrics)
+        return sim
