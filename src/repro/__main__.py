@@ -10,7 +10,10 @@ Commands mirror the workflow of the authors' run/profile scripts:
   command subset, see ``repro.md.deck``);
 * ``trace``   — run a functional benchmark under the span tracer and
   write a Chrome trace, metrics snapshots and the timing tables (see
-  ``docs/OBSERVABILITY.md``).
+  ``docs/OBSERVABILITY.md``);
+* ``scale``   — run a benchmark on the real shared-memory parallel
+  engine, check serial/parallel parity, and report the measured
+  per-worker timeline and speedups (see ``docs/SCALING.md``).
 """
 
 from __future__ import annotations
@@ -168,6 +171,75 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    import os
+
+    import numpy as np
+
+    from repro.parallel.engine import ParallelForceExecutor
+    from repro.suite import get_benchmark
+
+    bench = get_benchmark(args.experiment)
+    quasi_2d = args.experiment == "chute"
+
+    serial = bench.build(args.atoms)
+    serial.setup()
+    print(f"built {args.experiment}: {serial.system.n_atoms} atoms, "
+          f"{os.cpu_count()} cores visible; "
+          f"running {args.steps} steps serial then on {args.workers} workers")
+    import time as _time
+
+    tick = _time.perf_counter()
+    cpu_tick = _time.process_time()
+    serial.run(args.steps, reset_timers=True)
+    serial_wall = _time.perf_counter() - tick
+    serial_cpu = _time.process_time() - cpu_tick
+    serial_pair = serial.timers.seconds.get("Pair", 0.0)
+
+    parallel = bench.build(args.atoms)
+    executor = ParallelForceExecutor(args.workers, quasi_2d=quasi_2d)
+    parallel.force_executor = executor
+    executor.bind(parallel)
+    with parallel:
+        parallel.setup()
+        # Drop the setup-time initial build from the accumulators; the
+        # serial side's reset_timers does the same for its task timers.
+        executor.reset_timings()
+        tick = _time.perf_counter()
+        cpu_tick = _time.process_time()
+        parallel.run(args.steps, reset_timers=True)
+        parallel_wall = _time.perf_counter() - tick
+        master_cpu = _time.process_time() - cpu_tick
+
+        force_delta = float(
+            np.abs(serial.system.forces - parallel.system.forces).max()
+        )
+        energy_delta = abs(serial.potential_energy - parallel.potential_energy)
+        print(f"parity: |dF|max = {force_delta:.3e}, "
+              f"|dE| = {energy_delta:.3e} "
+              f"({'OK' if force_delta < 1e-10 else 'DIVERGED'})")
+        print(f"serial:   {args.steps / serial_wall:8.2f} steps/s "
+              f"({serial_wall:.3f} s wall, Pair {serial_pair:.3f} s)")
+        print(f"parallel: {args.steps / parallel_wall:8.2f} steps/s "
+              f"({parallel_wall:.3f} s wall)")
+        steps = max(1, executor.steps_measured)
+        # Critical path under true concurrency: master CPU per step plus
+        # the slowest worker's (pair + amortized rebuild) CPU per step.
+        # CPU time is scheduling-invariant, so this holds on hosts with
+        # fewer cores than workers (where wall clock just serializes).
+        worker_cpu = (
+            executor.worker_pair_cpu_seconds + executor.worker_neigh_cpu_seconds
+        ) / steps
+        critical = master_cpu / args.steps + float(worker_cpu.max())
+        print(f"wall-clock speedup:     {serial_wall / parallel_wall:.2f}x")
+        print(f"critical-path speedup:  {serial_cpu / args.steps / critical:.2f}x "
+              f"(slowest worker pair+rebuild CPU: {worker_cpu.max()*1e3:.2f} "
+              f"ms/step)")
+        print()
+        print(executor.timeline().render())
+    return 0 if force_delta < 1e-10 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -209,6 +281,17 @@ def main(argv: list[str] | None = None) -> int:
     trace.add_argument("--snapshot-every", type=int, default=10,
                        help="steps between metrics snapshots")
     trace.set_defaults(func=_cmd_trace)
+
+    scale = sub.add_parser(
+        "scale", help="run on the shared-memory parallel engine"
+    )
+    scale.add_argument("experiment", choices=BENCHMARK_NAMES)
+    scale.add_argument("--workers", type=int, default=2,
+                       help="worker process count (one subdomain each)")
+    scale.add_argument("--steps", type=int, default=20)
+    scale.add_argument("--atoms", type=int, default=2000,
+                       help="target atom count (builders round to lattice)")
+    scale.set_defaults(func=_cmd_scale)
 
     args = parser.parse_args(argv)
     return args.func(args)

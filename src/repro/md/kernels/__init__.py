@@ -32,6 +32,7 @@ __all__ = [
     "BACKEND_ENV_VAR",
     "available_backends",
     "get_backend",
+    "backend_spec",
 ]
 
 #: Environment variable consulted when no explicit backend is passed.
@@ -69,3 +70,23 @@ def get_backend(spec: str | KernelBackend | None = None) -> KernelBackend:
         raise ValueError(
             f"unknown kernel backend {spec!r}; available: {available_backends()}"
         ) from None
+
+
+def backend_spec(backend: KernelBackend) -> str:
+    """Registry name of a live backend, for cross-process dispatch.
+
+    Backend instances carry scratch buffers and (when tracing) a tracer
+    reference, neither of which should travel to worker processes; the
+    parallel engine ships this *name* instead and each worker resolves
+    its own instance.  Wrappers that proxy a real backend (for example
+    the observability ``TracingBackend``) are unwrapped via their
+    ``inner`` attribute.
+    """
+    while getattr(type(backend), "name", None) not in _REGISTRY:
+        nested = getattr(backend, "inner", None)
+        if nested is None or nested is backend:
+            raise ValueError(
+                f"cannot derive a registry spec for backend {backend!r}"
+            )
+        backend = nested
+    return type(backend).name

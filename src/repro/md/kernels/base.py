@@ -57,6 +57,19 @@ class KernelBackend(abc.ABC):
     ) -> None:
         """``out[index[k]] += values[k]`` for 1-D or ``(M, 3)`` values."""
 
+    def scatter_add_sorted(
+        self, out: np.ndarray, index: np.ndarray, values: np.ndarray
+    ) -> None:
+        """:meth:`scatter_add` for a *non-decreasing* ``index``.
+
+        The parallel engine's directed rows are stored sorted by owning
+        atom, which lets a backend collapse the scatter into a segmented
+        reduction over contiguous runs.  The summation order within each
+        segment must stay input order (bitwise-compatible with the
+        generic scatter); this default just delegates.
+        """
+        self.scatter_add(out, index, values)
+
     @abc.abstractmethod
     def accumulate_pair_forces(
         self,

@@ -99,6 +99,22 @@ class NumpyFastBackend(KernelBackend):
             for d in range(values.shape[1]):
                 out[:, d] += np.bincount(index, weights=values[:, d], minlength=n)
 
+    def scatter_add_sorted(self, out, index, values):
+        m = len(index)
+        if m == 0:
+            return
+        values = np.asarray(values)
+        # Segment boundaries of the contiguous index runs; reduceat sums
+        # each run sequentially (input order), matching bincount bitwise.
+        boundaries = np.flatnonzero(index[1:] != index[:-1]) + 1
+        starts = np.concatenate([[0], boundaries]).astype(np.intp)
+        rows = index[starts]
+        if values.ndim == 1:
+            out[rows] += np.add.reduceat(values, starts)
+        else:
+            for d in range(values.shape[1]):
+                out[rows, d] += np.add.reduceat(values[:, d], starts)
+
     def accumulate_pair_forces(self, forces, i, j, fvec):
         n = forces.shape[0]
         for d in range(3):

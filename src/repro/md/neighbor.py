@@ -32,6 +32,8 @@ __all__ = [
     "NeighborList",
     "NeighborStats",
     "brute_force_pairs",
+    "cell_list_half_pairs",
+    "subdomain_directed_pairs",
     "BRUTE_FORCE_ENV_VAR",
 ]
 
@@ -113,6 +115,154 @@ def brute_force_pairs(
     r2 = np.einsum("ij,ij->i", dr, dr)
     mask = r2 < cutoff * cutoff
     return iu[mask], ju[mask]
+
+
+def cell_list_half_pairs(
+    positions: np.ndarray, box: Box, rc: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Half pair list via link-cell binning (O(N) for fixed density).
+
+    Fully vectorized: candidate pairs come from numpy repeats and
+    gathers over the cell-sorted atom order — one pass per stencil
+    offset over *all* atoms at once — instead of a Python loop over
+    occupied cells.  The distance filter runs *per stencil offset* on
+    each candidate block before anything is concatenated, so the peak
+    working set is one offset's candidates (~1/14th of the full
+    candidate population) and only surviving pairs are ever copied.
+    """
+    positions = np.asarray(positions, dtype=float)
+    n = len(positions)
+    rc2 = rc * rc
+    n_cells = np.maximum(np.floor(box.lengths / rc).astype(int), 1)
+    cell_size = box.lengths / n_cells
+
+    coords = np.floor((positions - box.origin) / cell_size).astype(np.int64)
+    coords = np.minimum(coords, n_cells - 1)
+    coords = np.maximum(coords, 0)
+    strides = np.array(
+        [n_cells[1] * n_cells[2], n_cells[2], 1], dtype=np.int64
+    )
+    flat = coords @ strides
+
+    order = np.argsort(flat, kind="stable")
+    sorted_flat = flat[order]
+    sorted_coords = coords[order]
+    total_cells = int(np.prod(n_cells))
+    counts = np.bincount(sorted_flat, minlength=total_cells)
+    # cell_starts[c] = first slot of cell c in the sorted order.
+    cell_starts = np.zeros(total_cells + 1, dtype=np.int64)
+    np.cumsum(counts, out=cell_starts[1:])
+
+    pair_i_blocks: list[np.ndarray] = []
+    pair_j_blocks: list[np.ndarray] = []
+    # With no periodic dimension the image shift is identically zero
+    # (minimum_image returns ``dr - 0.0``); skipping it drops a divide,
+    # round and multiply over every candidate.  The subdomain search
+    # always takes this path — its ghost images realize periodicity.
+    any_periodic = bool(box.periodic.any())
+
+    def _keep_within_cutoff(cand_i: np.ndarray, cand_j: np.ndarray) -> None:
+        dr = positions[cand_i] - positions[cand_j]
+        if any_periodic:
+            dr = box.minimum_image(dr)
+        r2 = np.einsum("ij,ij->i", dr, dr)
+        keep = np.flatnonzero(r2 < rc2)
+        if len(keep):
+            pair_i_blocks.append(cand_i[keep])
+            pair_j_blocks.append(cand_j[keep])
+
+    # Intra-cell pairs: sorted slot k pairs with every *later* member
+    # of its own cell (the triangular half without materializing it).
+    slots = np.arange(n, dtype=np.int64)
+    n_after = cell_starts[sorted_flat + 1] - slots - 1
+    if int(n_after.sum()) > 0:
+        j_slots = np.repeat(slots + 1, n_after) + _ragged_arange(n_after)
+        _keep_within_cutoff(np.repeat(order, n_after), order[j_slots])
+
+    # Inter-cell pairs: for each of the 13 forward stencil offsets,
+    # every atom pairs with the full population of its neighbor cell.
+    for off in _HALF_STENCIL:
+        nb = sorted_coords + off
+        valid = np.ones(n, dtype=bool)
+        for d in range(3):
+            if box.periodic[d]:
+                nb[:, d] %= n_cells[d]
+            else:
+                valid &= (nb[:, d] >= 0) & (nb[:, d] < n_cells[d])
+        nb_flat = nb @ strides
+        if not valid.all():
+            nb_flat = nb_flat[valid]
+            members = order[valid]
+        else:
+            members = order
+        cnt = counts[nb_flat]
+        if int(cnt.sum()) == 0:
+            continue
+        j_slots = np.repeat(cell_starts[nb_flat], cnt) + _ragged_arange(cnt)
+        # With fewer than 3 cells in a periodic dimension the same pair
+        # can appear from two offsets; _can_bin guards against that, so
+        # every candidate is unique and the per-offset filter suffices.
+        _keep_within_cutoff(np.repeat(members, cnt), order[j_slots])
+
+    if not pair_i_blocks:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    return np.concatenate(pair_i_blocks), np.concatenate(pair_j_blocks)
+
+
+def subdomain_directed_pairs(
+    positions: np.ndarray,
+    rc: float,
+    *,
+    sort_key: np.ndarray | None = None,
+    brute_force_max: int | None = None,
+    anchor_limit: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Directed pair list over a subdomain's local atom set.
+
+    The parallel engine hands each worker its owned atoms plus
+    ghost-shifted halo copies; periodicity is realized by the ghost
+    images, so the local search runs in an *open* (non-periodic)
+    bounding box with plain Euclidean distances.  Every unordered pair
+    within ``rc`` is returned in both directions ``(i, j)`` and
+    ``(j, i)``, sorted by ``(i, sort_key[j])`` — passing the global atom
+    ids as ``sort_key`` makes each atom's neighbor row canonically
+    ordered regardless of how the domain was decomposed, which is what
+    keeps parallel force sums bitwise reproducible across worker counts.
+
+    ``anchor_limit`` keeps only the rows whose head is below it.  Owned
+    locals come first in the worker's numbering, so passing ``n_owned``
+    drops every ghost-headed row *before* the sort — the rows a
+    one-sided owner-computes pass never reads (EAM is the exception:
+    its density pass needs the ghost-headed rows and must not set
+    this).  The surviving rows are bitwise identical to the matching
+    prefix of the unrestricted list.
+    """
+    positions = np.asarray(positions, dtype=float)
+    n = len(positions)
+    empty = np.empty(0, dtype=np.int64)
+    if n < 2:
+        return empty, empty
+    limit = _default_brute_force_max() if brute_force_max is None else brute_force_max
+    # Open bounding box with one-cutoff margin; degenerate extents
+    # (planar or linear local sets) still need positive edge lengths.
+    lo = positions.min(axis=0) - rc
+    hi = positions.max(axis=0) + rc
+    box = Box(np.maximum(hi - lo, rc), periodic=np.zeros(3, dtype=bool), origin=lo)
+    if n <= limit:
+        i, j = brute_force_pairs(positions, box, rc)
+    else:
+        i, j = cell_list_half_pairs(positions, box, rc)
+    if anchor_limit is None:
+        di = np.concatenate([i, j])
+        dj = np.concatenate([j, i])
+    else:
+        forward = i < anchor_limit
+        reverse = j < anchor_limit
+        di = np.concatenate([i[forward], j[reverse]])
+        dj = np.concatenate([j[forward], i[reverse]])
+    key = dj if sort_key is None else np.asarray(sort_key, dtype=np.int64)[dj]
+    order = np.lexsort((key, di))
+    return di[order], dj[order]
 
 
 @dataclass
@@ -285,83 +435,8 @@ class NeighborList:
     def _cell_list_pairs(
         self, positions: np.ndarray, box: Box, rc: float
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Half pair list via link-cell binning (O(N) for fixed density).
-
-        Fully vectorized: candidate pairs come from numpy repeats and
-        gathers over the cell-sorted atom order — one pass per stencil
-        offset over *all* atoms at once — instead of a Python loop over
-        occupied cells (which dominated 32k-atom build time).  Candidate
-        generation is now a handful of array passes; the remaining build
-        cost is the shared distance filter over the candidate set.
-        """
-        n = len(positions)
-        n_cells = np.maximum(np.floor(box.lengths / rc).astype(int), 1)
-        cell_size = box.lengths / n_cells
-
-        coords = np.floor((positions - box.origin) / cell_size).astype(np.int64)
-        coords = np.minimum(coords, n_cells - 1)
-        coords = np.maximum(coords, 0)
-        strides = np.array(
-            [n_cells[1] * n_cells[2], n_cells[2], 1], dtype=np.int64
-        )
-        flat = coords @ strides
-
-        order = np.argsort(flat, kind="stable")
-        sorted_flat = flat[order]
-        sorted_coords = coords[order]
-        total_cells = int(np.prod(n_cells))
-        counts = np.bincount(sorted_flat, minlength=total_cells)
-        # cell_starts[c] = first slot of cell c in the sorted order.
-        cell_starts = np.zeros(total_cells + 1, dtype=np.int64)
-        np.cumsum(counts, out=cell_starts[1:])
-
-        pair_i_blocks: list[np.ndarray] = []
-        pair_j_blocks: list[np.ndarray] = []
-
-        # Intra-cell pairs: sorted slot k pairs with every *later* member
-        # of its own cell (the triangular half without materializing it).
-        slots = np.arange(n, dtype=np.int64)
-        n_after = cell_starts[sorted_flat + 1] - slots - 1
-        if int(n_after.sum()) > 0:
-            j_slots = np.repeat(slots + 1, n_after) + _ragged_arange(n_after)
-            pair_i_blocks.append(np.repeat(order, n_after))
-            pair_j_blocks.append(order[j_slots])
-
-        # Inter-cell pairs: for each of the 13 forward stencil offsets,
-        # every atom pairs with the full population of its neighbor cell.
-        for off in _HALF_STENCIL:
-            nb = sorted_coords + off
-            valid = np.ones(n, dtype=bool)
-            for d in range(3):
-                if box.periodic[d]:
-                    nb[:, d] %= n_cells[d]
-                else:
-                    valid &= (nb[:, d] >= 0) & (nb[:, d] < n_cells[d])
-            nb_flat = nb @ strides
-            if not valid.all():
-                nb_flat = nb_flat[valid]
-                members = order[valid]
-            else:
-                members = order
-            cnt = counts[nb_flat]
-            if int(cnt.sum()) == 0:
-                continue
-            j_slots = np.repeat(cell_starts[nb_flat], cnt) + _ragged_arange(cnt)
-            pair_i_blocks.append(np.repeat(members, cnt))
-            pair_j_blocks.append(order[j_slots])
-
-        if not pair_i_blocks:
-            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-
-        cand_i = np.concatenate(pair_i_blocks)
-        cand_j = np.concatenate(pair_j_blocks)
-        # With fewer than 3 cells in a periodic dimension the same pair can
-        # appear from two offsets; _can_bin guards against that, so every
-        # candidate is unique and only the distance filter remains.
-        dr = box.minimum_image(positions[cand_i] - positions[cand_j])
-        r2 = np.einsum("ij,ij->i", dr, dr)
-        mask = r2 < rc * rc
-        return cand_i[mask], cand_j[mask]
+        """Binned half pairs; see :func:`cell_list_half_pairs`."""
+        return cell_list_half_pairs(positions, box, rc)
 
     # ------------------------------------------------------------------
     # Maintenance

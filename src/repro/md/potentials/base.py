@@ -102,6 +102,18 @@ class PairPotential(abc.ABC):
     def compute(self, system: AtomSystem, neighbors: NeighborList) -> ForceResult:
         """Accumulate forces into ``system.forces`` and return totals."""
 
+    def halo_width(self, list_cutoff: float) -> float:
+        """Ghost-shell width a subdomain needs to evaluate owned atoms.
+
+        For plain pairwise interactions the neighbor-list cutoff
+        (``cutoff + skin``) suffices: every partner of an owned atom lies
+        within it for the whole rebuild interval.  Many-body potentials
+        whose per-atom terms depend on *their partners'* environments
+        (EAM's embedding density) must widen this so halo atoms also see
+        complete neighbor rows.
+        """
+        return float(list_cutoff)
+
     def energy_only(self, system: AtomSystem, neighbors: NeighborList) -> float:
         """Potential energy of the current configuration (forces restored)."""
         saved = system.forces.copy()

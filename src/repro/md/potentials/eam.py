@@ -77,6 +77,17 @@ class EAMAlloy(PairPotential):
         self.params = params if params is not None else EAMParameters()
         self.cutoff = self.params.cutoff
 
+    def halo_width(self, list_cutoff: float) -> float:
+        """EAM needs neighbor-of-neighbor reach in the ghost shell.
+
+        The pair force on an owned atom ``i`` involves ``F'(rho_j)`` of
+        every partner ``j``, and ``rho_j`` sums density over *j's* own
+        partners — atoms up to one interaction cutoff beyond ``j``.  A
+        halo of ``list_cutoff + cutoff`` guarantees each halo atom within
+        ``list_cutoff`` of the subdomain has its full density row.
+        """
+        return float(list_cutoff) + self.cutoff
+
     # -- radial functions ------------------------------------------------
     def density_function(self, r: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Electron density contribution ``f(r)`` and its derivative."""

@@ -92,38 +92,40 @@ class HookeHistory(PairPotential):
         self.cutoff = 2.0 * float(max_radius)
         self.history = ContactHistory()
 
-    def compute(self, system: AtomSystem, neighbors: NeighborList) -> ForceResult:
-        if system.radii is None:
-            raise ValueError("HookeHistory needs a granular system (radii set)")
-        kernel = self.backend
-        i_all, j_all, dr_all, r_all = kernel.current_pairs(
-            system, neighbors, self.cutoff
-        )
-        interactions = len(i_all)
-        # Physics is evaluated once per unordered pair; the full list the
-        # simulation keeps (newton off) is reflected in `interactions`.
-        half = i_all < j_all
-        i, j, dr, r = i_all[half], j_all[half], dr_all[half], r_all[half]
+    def contact_terms(
+        self,
+        dr: np.ndarray,
+        r: np.ndarray,
+        radius_i: np.ndarray,
+        radius_j: np.ndarray,
+        mass_i: np.ndarray,
+        mass_j: np.ndarray,
+        v_i: np.ndarray,
+        v_j: np.ndarray,
+        omega_i: np.ndarray | None,
+        omega_j: np.ndarray | None,
+        xi: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-contact physics for touching pairs with ``dr = x_i - x_j``.
 
-        radii = system.radii
-        sum_r = radii[i] + radii[j]
-        touching = r < sum_r
-        i, j, dr, r = i[touching], j[touching], dr[touching], r[touching]
-        keys = i * np.int64(system.n_atoms) + j
-        xi = self.history.sync(keys)
-        if len(i) == 0:
-            return ForceResult(0.0, 0.0, interactions)
-
+        Returns ``(f_i, torque, xi_new, pair_energy, pair_virial)`` where
+        ``f_i`` is the force on atom ``i`` (atom ``j`` receives ``-f_i``),
+        ``torque`` is the shared tangential moment vector — each side
+        scatters ``-radius * torque`` — and ``pair_energy``/``pair_virial``
+        are whole-pair quantities.  Every term is odd or even under the
+        direction swap ``(i, j, dr) -> (j, i, -dr)`` exactly as Newton's
+        third law requires, so evaluating the *directed* pair on each
+        atom's owner (the parallel engine's newton-off scheme) reproduces
+        this serial two-sided evaluation bit for bit.
+        """
         n_hat = dr / r[:, None]
-        delta = (radii[i] + radii[j]) - r
-        m_eff = system.masses[i] * system.masses[j] / (
-            system.masses[i] + system.masses[j]
-        )
+        delta = (radius_i + radius_j) - r
+        m_eff = mass_i * mass_j / (mass_i + mass_j)
 
         # Relative velocity at the contact point (translational + spin).
-        v_rel = system.velocities[i] - system.velocities[j]
-        if system.omega is not None:
-            spin = radii[i][:, None] * system.omega[i] + radii[j][:, None] * system.omega[j]
+        v_rel = v_i - v_j
+        if omega_i is not None:
+            spin = radius_i[:, None] * omega_i + radius_j[:, None] * omega_j
             v_rel = v_rel - np.cross(spin, n_hat)
         v_n = np.einsum("ij,ij->i", v_rel, n_hat)
         v_n_vec = v_n[:, None] * n_hat
@@ -147,22 +149,62 @@ class HookeHistory(PairPotential):
             # Rescale the stored history so the spring is consistent with
             # the capped force (LAMMPS does the same truncation).
             xi = np.where(over[:, None], -f_t_vec / self.k_t, xi)
-        self.history.store(xi)
 
         f_total = f_n_vec + f_t_vec
+        torque = np.cross(n_hat, f_t_vec)
+        # Elastic contact energy (normal spring only; damping and sliding
+        # friction are dissipative, so total energy is *not* conserved —
+        # the Chute tests assert dissipation instead).
+        pair_energy = 0.5 * self.k_n * delta * delta
+        pair_virial = np.einsum("ij,ij->i", dr, f_total)
+        return f_total, torque, xi, pair_energy, pair_virial
+
+    def compute(self, system: AtomSystem, neighbors: NeighborList) -> ForceResult:
+        if system.radii is None:
+            raise ValueError("HookeHistory needs a granular system (radii set)")
+        kernel = self.backend
+        i_all, j_all, dr_all, r_all = kernel.current_pairs(
+            system, neighbors, self.cutoff
+        )
+        interactions = len(i_all)
+        # Physics is evaluated once per unordered pair; the full list the
+        # simulation keeps (newton off) is reflected in `interactions`.
+        half = i_all < j_all
+        i, j, dr, r = i_all[half], j_all[half], dr_all[half], r_all[half]
+
+        radii = system.radii
+        sum_r = radii[i] + radii[j]
+        touching = r < sum_r
+        i, j, dr, r = i[touching], j[touching], dr[touching], r[touching]
+        keys = i * np.int64(system.n_atoms) + j
+        xi = self.history.sync(keys)
+        if len(i) == 0:
+            return ForceResult(0.0, 0.0, interactions)
+
+        f_total, torque, xi, pair_energy, pair_virial = self.contact_terms(
+            dr,
+            r,
+            radii[i],
+            radii[j],
+            system.masses[i],
+            system.masses[j],
+            system.velocities[i],
+            system.velocities[j],
+            system.omega[i] if system.omega is not None else None,
+            system.omega[j] if system.omega is not None else None,
+            xi,
+        )
+        self.history.store(xi)
+
         kernel.accumulate_pair_forces(system.forces, i, j, f_total)
 
         # Contact torques from the tangential force.
         if system.torques is not None:
-            torque = np.cross(n_hat, f_t_vec)
             kernel.scatter_add(system.torques, i, -radii[i][:, None] * torque)
             kernel.scatter_add(system.torques, j, -radii[j][:, None] * torque)
 
-        # Elastic contact energy (normal spring only; damping and sliding
-        # friction are dissipative, so total energy is *not* conserved —
-        # the Chute tests assert dissipation instead).
-        energy = float(np.sum(0.5 * self.k_n * delta * delta))
-        virial = float(np.sum(np.einsum("ij,ij->i", dr, f_total)))
+        energy = float(np.sum(pair_energy))
+        virial = float(np.sum(pair_virial))
         return ForceResult(energy, virial, interactions)
 
     @property

@@ -22,6 +22,7 @@ that calibrate the performance model.
 
 from __future__ import annotations
 
+import abc
 import time
 from dataclasses import dataclass
 from typing import Sequence
@@ -37,12 +38,17 @@ from repro.md.kernels import KernelBackend, get_backend
 from repro.md.kspace.base import KSpaceSolver
 from repro.md.kernels.tracing import TracingBackend
 from repro.md.neighbor import NeighborList
-from repro.md.potentials.base import PairPotential
+from repro.md.potentials.base import ForceResult, PairPotential
 from repro.md.thermo import ThermoLog
 from repro.md.timers import TaskTimers
 from repro.observability import MetricsRegistry, resolve_tracer
 
-__all__ = ["Simulation", "OperationCounts"]
+__all__ = [
+    "Simulation",
+    "OperationCounts",
+    "ForceExecutor",
+    "SerialForceExecutor",
+]
 
 
 @dataclass
@@ -59,6 +65,57 @@ class OperationCounts:
     @property
     def pair_interactions_per_step(self) -> float:
         return self.pair_interactions / max(1, self.timesteps)
+
+
+class ForceExecutor(abc.ABC):
+    """Strategy for the Neigh + Pair tasks of the timestep.
+
+    The Simulation owns the step loop, integrators, bonded terms and
+    k-space solver; *how* the short-range pair work and its neighbor
+    lists are evaluated is delegated here so the same loop can run the
+    in-process serial path or the domain-decomposed worker pool of
+    :class:`repro.parallel.engine.ParallelForceExecutor` unchanged.
+    """
+
+    simulation: "Simulation"
+
+    def bind(self, simulation: "Simulation") -> None:
+        """Attach to the owning simulation (called once, at the end of
+        ``Simulation.__init__``, after potentials/neighbor exist)."""
+        self.simulation = simulation
+
+    @abc.abstractmethod
+    def maintain_neighbors(self, system: AtomSystem, *, force: bool = False) -> bool:
+        """Rebuild neighbor state if stale (or ``force``); True if rebuilt."""
+
+    @abc.abstractmethod
+    def compute(self, system: AtomSystem) -> ForceResult:
+        """Evaluate all pair potentials into ``system.forces``/``torques``.
+
+        Returns the aggregate energy/virial/interaction totals summed in
+        potential order.  Forces (and torques, for granular systems)
+        must already be zeroed by the caller.
+        """
+
+    def close(self) -> None:
+        """Release executor resources (worker processes, shared memory)."""
+
+
+class SerialForceExecutor(ForceExecutor):
+    """The default in-process executor: one core, one neighbor list."""
+
+    def maintain_neighbors(self, system: AtomSystem, *, force: bool = False) -> bool:
+        neighbor = self.simulation.neighbor
+        if force:
+            neighbor.build(system)
+            return True
+        return neighbor.ensure(system)
+
+    def compute(self, system: AtomSystem) -> ForceResult:
+        total = ForceResult()
+        for potential in self.simulation.potentials:
+            total += potential.compute(system, self.simulation.neighbor)
+        return total
 
 
 class Simulation:
@@ -109,6 +166,13 @@ class Simulation:
         given, each step updates step-duration histograms and work
         gauges (pair interactions, rebuild cadence, energy drift, SHAKE
         iterations, kernel scratch growth).
+    force_executor:
+        Strategy object evaluating the Neigh + Pair tasks each step.
+        Defaults to :class:`SerialForceExecutor`; pass a
+        :class:`repro.parallel.engine.ParallelForceExecutor` to run the
+        pair work across domain-decomposed worker processes.  Call
+        :meth:`close` (or use the simulation as a context manager) when
+        the executor holds external resources.
     """
 
     def __init__(
@@ -128,6 +192,7 @@ class Simulation:
         backend: KernelBackend | str | None = None,
         tracer=None,
         metrics: MetricsRegistry | None = None,
+        force_executor: ForceExecutor | None = None,
     ) -> None:
         self.system = system
         self.potentials = list(potentials)
@@ -168,6 +233,10 @@ class Simulation:
         self.neighbor.tracer = self.tracer
         self._setup_done = False
         self._initial_energy: float | None = None
+        self.force_executor = (
+            force_executor if force_executor is not None else SerialForceExecutor()
+        )
+        self.force_executor.bind(self)
 
     # ------------------------------------------------------------------
     @property
@@ -177,7 +246,7 @@ class Simulation:
     def setup(self) -> None:
         """Initial neighbor build and force evaluation (step 0 state)."""
         self.system.wrap()
-        self.neighbor.build(self.system)
+        self.force_executor.maintain_neighbors(self.system, force=True)
         self._compute_forces(count=False)
         self._setup_done = True
 
@@ -189,12 +258,11 @@ class Simulation:
         energy = 0.0
         virial = 0.0
         with self.timers.time("Pair"):
-            for potential in self.potentials:
-                result = potential.compute(self.system, self.neighbor)
-                energy += result.energy
-                virial += result.virial
-                if count:
-                    self.counts.pair_interactions += result.interactions
+            result = self.force_executor.compute(self.system)
+            energy += result.energy
+            virial += result.virial
+            if count:
+                self.counts.pair_interactions += result.interactions
         with self.timers.time("Bond"):
             for term in self.bonded:
                 result = term.compute(self.system)
@@ -259,7 +327,7 @@ class Simulation:
 
         # III - neighbor-list maintenance.
         with self.timers.time("Neigh"):
-            if self.neighbor.ensure(self.system):
+            if self.force_executor.maintain_neighbors(self.system):
                 self.counts.neighbor_builds += 1
 
         # V/VI/VII - force computation (timed per task inside).
@@ -315,6 +383,16 @@ class Simulation:
         """Zero the per-task timers and the step wall-clock accumulator."""
         self.timers.reset()
         self.step_seconds = 0.0
+
+    def close(self) -> None:
+        """Release force-executor resources (workers, shared memory)."""
+        self.force_executor.close()
+
+    def __enter__(self) -> "Simulation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def attach_tracer(self, tracer) -> None:

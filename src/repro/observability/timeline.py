@@ -86,6 +86,27 @@ class RankTimeline:
                 )
         return cls(n_ranks=len(compute_seconds), spans=spans)
 
+    @classmethod
+    def from_measured(
+        cls,
+        compute_seconds: np.ndarray,
+        *,
+        comm_seconds: float = 0.0,
+    ) -> "RankTimeline":
+        """Build a timeline from *measured* per-worker compute times.
+
+        The shared-memory engine records only how long each worker's
+        force pass took; at a barrier-synchronized step the implied wait
+        is ``max(compute) - compute[r]`` per rank — the same quantity the
+        analytic model feeds :meth:`from_model`, so measured and modelled
+        timelines aggregate (and render) identically.
+        """
+        compute_seconds = np.asarray(compute_seconds, dtype=float)
+        wait_seconds = float(compute_seconds.max()) - compute_seconds
+        return cls.from_model(
+            compute_seconds, wait_seconds, comm_seconds=comm_seconds
+        )
+
     # ------------------------------------------------------------------
     # Aggregates (what Figure 4 plots, read off the recorded spans)
     # ------------------------------------------------------------------

@@ -67,7 +67,9 @@ class CpuRunResult:
     core_utilization: float
     #: Resident memory estimate in bytes.
     memory_bytes: float
-    per_rank_compute_seconds: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    #: Modelled per-rank compute seconds (``None`` when a result is
+    #: constructed without the per-rank detail, e.g. in summaries).
+    per_rank_compute_seconds: np.ndarray | None = field(repr=False, default=None)
     #: Per-rank span timeline the imbalance figures aggregate over.
     timeline: RankTimeline | None = field(repr=False, default=None)
 

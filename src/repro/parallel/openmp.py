@@ -115,8 +115,15 @@ def simulate_hybrid_run(
     speedup = compute.total / threaded
 
     # Scale the timestep rate; MPI overheads (per rank) are unchanged.
-    comm_seconds = base.step_seconds - base.per_rank_compute_seconds.max()
-    step_seconds = base.per_rank_compute_seconds.max() / speedup + comm_seconds
+    # simulate_cpu_run always fills per_rank_compute_seconds, but the
+    # field is optional on CpuRunResult — fall back to the slowest-rank
+    # step time (zero comm) rather than crash on a partial result.
+    if base.per_rank_compute_seconds is not None:
+        max_compute = float(base.per_rank_compute_seconds.max())
+    else:
+        max_compute = base.step_seconds
+    comm_seconds = base.step_seconds - max_compute
+    step_seconds = max_compute / speedup + comm_seconds
     ts_per_s = 1.0 / step_seconds
 
     scaled_tasks = dict(base.task_seconds)
@@ -145,7 +152,11 @@ def simulate_hybrid_run(
         energy_efficiency=ts_per_s / base.power_watts,
         core_utilization=base.core_utilization,
         memory_bytes=base.memory_bytes,
-        per_rank_compute_seconds=base.per_rank_compute_seconds / speedup,
+        per_rank_compute_seconds=(
+            None
+            if base.per_rank_compute_seconds is None
+            else base.per_rank_compute_seconds / speedup
+        ),
     )
 
 
