@@ -13,7 +13,11 @@ Commands mirror the workflow of the authors' run/profile scripts:
   ``docs/OBSERVABILITY.md``);
 * ``scale``   — run a benchmark on the real shared-memory parallel
   engine, check serial/parallel parity, and report the measured
-  per-worker timeline and speedups (see ``docs/SCALING.md``).
+  per-worker timeline and speedups (see ``docs/SCALING.md``);
+* ``checkpoint`` — run a benchmark under periodic checkpointing with
+  supervised crash recovery, optionally injecting worker faults, and
+  verify restart parity against an uninterrupted run (see
+  ``docs/RELIABILITY.md``).
 """
 
 from __future__ import annotations
@@ -171,6 +175,78 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.parallel.engine import ParallelForceExecutor
+    from repro.reliability import CheckpointManager, FaultPlan, ResilientRunner
+    from repro.suite import get_benchmark
+
+    bench = get_benchmark(args.experiment)
+    # Resolve $REPRO_FAULT_PLAN here (not just engine-side) so that
+    # checkpoint-phase faults reach the manager too, and so the
+    # verify-parity reference below can be pinned fault-free.
+    plan = (
+        FaultPlan.parse(args.fault_plan)
+        if args.fault_plan
+        else FaultPlan.from_env()
+    )
+    plan_text = args.fault_plan or (
+        "; ".join(s.spec_string() for s in plan.specs) if plan else ""
+    )
+
+    def build(fault_plan=None):
+        sim = bench.build(args.atoms)
+        if args.workers > 1:
+            executor = ParallelForceExecutor(
+                args.workers,
+                quasi_2d=args.experiment == "chute",
+                fault_plan=fault_plan,
+                barrier_timeout=args.barrier_timeout,
+            )
+            sim.force_executor = executor
+            executor.bind(sim)
+        return sim
+
+    sim = build(fault_plan=plan)
+    print(f"built {args.experiment}: {sim.system.n_atoms} atoms on "
+          f"{args.workers} worker(s); checkpoint every {args.every} steps "
+          f"under {args.out}"
+          + (f"; fault plan {plan_text!r}" if plan_text else ""))
+    manager = CheckpointManager(
+        args.out, every=args.every, keep_last=args.keep_last, fault_plan=plan
+    )
+    runner = ResilientRunner(
+        sim, manager, max_restarts=args.max_restarts, logger=print
+    )
+    events = runner.run(args.steps)
+    sim.close()
+    retained = [p.name for p in manager.checkpoints()]
+    print(f"finished at step {sim.step_number}: "
+          f"E_total = {sim.total_energy():.10f}, "
+          f"{manager.writes} checkpoint writes, retained {retained}")
+    print(f"recovery events: {len(events)} "
+          f"({sum(e.action == 'respawn' for e in events)} respawn(s), "
+          f"{sum(e.action == 'degrade-serial' for e in events)} degradation(s))")
+
+    if not args.verify_parity:
+        return 0
+    # An explicitly empty plan keeps the reference run fault-free even
+    # when $REPRO_FAULT_PLAN is set in the environment.
+    reference = build(fault_plan=FaultPlan())
+    reference.run(args.steps)
+    reference.close()
+    delta = float(np.abs(reference.system.positions - sim.system.positions).max())
+    bitwise = bool(
+        np.array_equal(reference.system.positions, sim.system.positions)
+        and np.array_equal(reference.system.velocities, sim.system.velocities)
+    )
+    verdict = "OK" if (bitwise or delta <= 1e-10) else "DIVERGED"
+    print(f"parity vs uninterrupted run: bitwise={bitwise}, "
+          f"|dx|max = {delta:.3e} ({verdict})")
+    return 0 if verdict == "OK" else 1
+
+
 def _cmd_scale(args: argparse.Namespace) -> int:
     import os
 
@@ -196,6 +272,16 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     serial_cpu = _time.process_time() - cpu_tick
     serial_pair = serial.timers.seconds.get("Pair", 0.0)
 
+    manager = None
+    if args.checkpoint_every > 0:
+        from repro.reliability import CheckpointManager
+
+        manager = CheckpointManager(
+            args.checkpoint_dir, every=args.checkpoint_every
+        )
+        print(f"checkpointing every {args.checkpoint_every} steps "
+              f"under {args.checkpoint_dir}")
+
     parallel = bench.build(args.atoms)
     executor = ParallelForceExecutor(args.workers, quasi_2d=quasi_2d)
     parallel.force_executor = executor
@@ -207,9 +293,12 @@ def _cmd_scale(args: argparse.Namespace) -> int:
         executor.reset_timings()
         tick = _time.perf_counter()
         cpu_tick = _time.process_time()
-        parallel.run(args.steps, reset_timers=True)
+        parallel.run(args.steps, reset_timers=True, checkpoint=manager)
         parallel_wall = _time.perf_counter() - tick
         master_cpu = _time.process_time() - cpu_tick
+        if manager is not None:
+            print(f"wrote {manager.writes} checkpoints, retained "
+                  f"{[p.name for p in manager.checkpoints()]}")
 
         force_delta = float(
             np.abs(serial.system.forces - parallel.system.forces).max()
@@ -291,7 +380,40 @@ def main(argv: list[str] | None = None) -> int:
     scale.add_argument("--steps", type=int, default=20)
     scale.add_argument("--atoms", type=int, default=2000,
                        help="target atom count (builders round to lattice)")
+    scale.add_argument("--checkpoint-every", type=int, default=0,
+                       help="periodic checkpoint cadence in steps (0 = off)")
+    scale.add_argument("--checkpoint-dir", default="checkpoint_out",
+                       help="directory for --checkpoint-every snapshots")
     scale.set_defaults(func=_cmd_scale)
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="run under periodic checkpointing with crash recovery",
+    )
+    checkpoint.add_argument("experiment", choices=BENCHMARK_NAMES)
+    checkpoint.add_argument("--steps", type=int, default=40)
+    checkpoint.add_argument("--atoms", type=int, default=500,
+                            help="target atom count (builders round to lattice)")
+    checkpoint.add_argument("--workers", type=int, default=1,
+                            help="worker processes (1 = serial executor)")
+    checkpoint.add_argument("--every", type=int, default=10,
+                            help="checkpoint cadence in steps")
+    checkpoint.add_argument("--keep-last", type=int, default=3,
+                            help="checkpoint retention depth")
+    checkpoint.add_argument("--out", default="checkpoint_out",
+                            help="checkpoint directory")
+    checkpoint.add_argument("--fault-plan", default=None,
+                            help="inject faults: kind:worker:step[:phase];... "
+                                 "(kinds kill/hang; phases step/rebuild/"
+                                 "checkpoint)")
+    checkpoint.add_argument("--max-restarts", type=int, default=2,
+                            help="pool respawns before degrading to serial")
+    checkpoint.add_argument("--barrier-timeout", type=float, default=30.0,
+                            help="seconds before a silent worker is declared "
+                                 "hung")
+    checkpoint.add_argument("--verify-parity", action="store_true",
+                            help="re-run uninterrupted and compare final state")
+    checkpoint.set_defaults(func=_cmd_checkpoint)
 
     args = parser.parse_args(argv)
     return args.func(args)

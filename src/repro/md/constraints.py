@@ -57,6 +57,14 @@ class ShakeConstraints:
     def n_constraints(self) -> int:
         return len(self.pairs)
 
+    def state_dict(self) -> dict:
+        """SHAKE is stateless across steps; only the iteration diagnostic
+        (exported to metrics) survives a checkpoint."""
+        return {"last_iterations": self.last_iterations}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.last_iterations = int(state.get("last_iterations", 0))
+
     # ------------------------------------------------------------------
     def apply_positions(
         self, system: AtomSystem, reference_positions: np.ndarray, dt: float

@@ -37,6 +37,24 @@ class Fix(abc.ABC):
     def post_force(self, system: AtomSystem, dt: float, step: int) -> None:
         """Hook running after forces are computed, before final integrate."""
 
+    def state_dict(self) -> dict:
+        """Dynamical state a checkpoint must capture (default: none).
+
+        Most fixes are pure functions of the instantaneous system state;
+        the Langevin thermostat's RNG stream is the notable exception —
+        without it a restart samples different kicks and the restarted
+        trajectory silently diverges from the uninterrupted one.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the variables :meth:`state_dict` captured."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} carries no dynamical state but the "
+                f"snapshot provides {sorted(state)}"
+            )
+
 
 class LangevinThermostat(Fix):
     """Langevin dynamics: friction plus matched random kicks.
@@ -61,6 +79,14 @@ class LangevinThermostat(Fix):
         sigma = np.sqrt(2.0 * m * self.temperature / (self.damp * dt))
         noise = sigma * self.rng.normal(size=system.velocities.shape)
         system.forces += drag + noise
+
+    def state_dict(self) -> dict:
+        # The bit-generator state is a plain nested dict of ints/strings
+        # (JSON-serializable), so a restored stream continues bit-for-bit.
+        return {"rng_state": self.rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.rng.bit_generator.state = state["rng_state"]
 
 
 class Gravity(Fix):

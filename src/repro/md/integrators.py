@@ -31,6 +31,25 @@ class Integrator(abc.ABC):
     def final_integrate(self, system: AtomSystem, dt: float) -> None:
         """Second velocity half-kick once new forces are known."""
 
+    def state_dict(self) -> dict:
+        """Dynamical state that must survive a checkpoint/restart.
+
+        Construction parameters (targets, damping times) are *not*
+        included — a restart rebuilds the integrator from the deck and
+        only reloads the evolving variables, so restoring into a
+        differently configured integrator is an error the snapshot
+        layer detects via the type tag.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the variables :meth:`state_dict` captured."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} carries no dynamical state but the "
+                f"snapshot provides {sorted(state)}"
+            )
+
 
 class VelocityVerletNVE(Integrator):
     """Plain NVE velocity Verlet (the ``NVE`` LAMMPS command).
@@ -97,6 +116,12 @@ class NoseHooverNVT(VelocityVerletNVE):
         super().final_integrate(system, dt)
         self._thermostat_half(system, dt)
 
+    def state_dict(self) -> dict:
+        return {"zeta": self.zeta}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.zeta = float(state["zeta"])
+
 
 class NoseHooverNPT(NoseHooverNVT):
     """Isotropic Nose-Hoover NPT (the Rhodopsin ``NPT`` command).
@@ -153,3 +178,13 @@ class NoseHooverNPT(NoseHooverNVT):
     def final_integrate(self, system: AtomSystem, dt: float) -> None:
         super().final_integrate(system, dt)
         self._barostat_half(system, dt)
+
+    def state_dict(self) -> dict:
+        # ``_virial`` feeds the barostat half-step that runs *before*
+        # the next force evaluation, so a restart must carry it over.
+        return {"zeta": self.zeta, "eta": self.eta, "virial": self._virial}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.zeta = float(state["zeta"])
+        self.eta = float(state["eta"])
+        self._virial = float(state["virial"])

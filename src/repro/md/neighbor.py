@@ -283,6 +283,25 @@ class NeighborStats:
             return float("inf")
         return self.total_steps / self.n_builds
 
+    def state_dict(self) -> dict:
+        """All counters, for checkpoint serialization."""
+        return {
+            "n_builds": self.n_builds,
+            "n_checks": self.n_checks,
+            "last_pairs": self.last_pairs,
+            "last_neighbors_per_atom": self.last_neighbors_per_atom,
+            "steps_since_build": self.steps_since_build,
+            "total_steps": self.total_steps,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.n_builds = int(state["n_builds"])
+        self.n_checks = int(state["n_checks"])
+        self.last_pairs = int(state["last_pairs"])
+        self.last_neighbors_per_atom = float(state["last_neighbors_per_atom"])
+        self.steps_since_build = int(state["steps_since_build"])
+        self.total_steps = int(state["total_steps"])
+
 
 class NeighborList:
     """Verlet neighbor list with skin, backed by a cell list.
@@ -464,6 +483,22 @@ class NeighborList:
             self.build(system)
             return True
         return False
+
+    def export_build_state(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """The (wrapped) positions and box lengths of the last build.
+
+        This is what a bit-exact restart needs: rebuilding the list from
+        these inputs reproduces the stored pair *ordering* (hence the
+        floating-point summation order of every subsequent force pass)
+        and keeps the skin-displacement rebuild cadence on the original
+        schedule.  Returns ``None`` before the first build.
+        """
+        if self._positions_at_build is None:
+            return None
+        return (
+            self._positions_at_build.copy(),
+            self._box_lengths_at_build.copy(),
+        )
 
     # ------------------------------------------------------------------
     # Queries

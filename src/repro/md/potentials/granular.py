@@ -55,6 +55,24 @@ class ContactHistory:
     def store(self, values: np.ndarray) -> None:
         self._values = values
 
+    def export(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copy out the ``(keys, values)`` store for serialization."""
+        return self._keys.copy(), self._values.copy()
+
+    def load(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Replace the store (the checkpoint/restart path).
+
+        The next :meth:`sync` re-aligns these entries with whatever pair
+        ordering the restored neighbor state produces, so the keys may
+        be a superset of the currently touching contacts.
+        """
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+        values = np.asarray(values, dtype=float).reshape(-1, 3)
+        if len(keys) != len(values):
+            raise ValueError("contact history needs one value row per key")
+        self._keys = keys.copy()
+        self._values = values.copy()
+
 
 class HookeHistory(PairPotential):
     """Damped Hookean normal contact + history-tracked tangential friction.

@@ -97,6 +97,39 @@ class ForceExecutor(abc.ABC):
         must already be zeroed by the caller.
         """
 
+    def export_contact_histories(self) -> dict[int, tuple]:
+        """Per-potential contact-history tables for checkpointing.
+
+        Keys are potential slots; values are ``(keys, values)`` arrays in
+        the canonical half-list orientation (``i < j``, displacement
+        ``x_i - x_j``).  The serial default reads the potentials' own
+        stores; the parallel executor overrides this to collect the
+        worker-local stores through shared memory.
+        """
+        tables: dict[int, tuple] = {}
+        for slot, potential in enumerate(self.simulation.potentials):
+            history = getattr(potential, "history", None)
+            if history is not None and hasattr(history, "export"):
+                tables[slot] = history.export()
+        return tables
+
+    def import_contact_histories(self, tables: dict[int, tuple]) -> None:
+        """Install checkpointed contact histories before resuming."""
+        for slot, (keys, values) in tables.items():
+            if slot >= len(self.simulation.potentials):
+                raise ValueError(
+                    f"snapshot stores contact history for potential slot "
+                    f"{slot} but the simulation has "
+                    f"{len(self.simulation.potentials)} potentials"
+                )
+            history = getattr(self.simulation.potentials[slot], "history", None)
+            if history is None or not hasattr(history, "load"):
+                raise ValueError(
+                    f"potential slot {slot} ({type(self.simulation.potentials[slot]).__name__}) "
+                    "has no contact history to restore into"
+                )
+            history.load(keys, values)
+
     def close(self) -> None:
         """Release executor resources (worker processes, shared memory)."""
 
@@ -364,13 +397,27 @@ class Simulation:
         if self.metrics is not None:
             self._record_step_metrics(elapsed)
 
-    def run(self, n_steps: int, *, reset_timers: bool = False) -> None:
+    def run(
+        self,
+        n_steps: int,
+        *,
+        reset_timers: bool = False,
+        checkpoint=None,
+    ) -> None:
         """Run ``n_steps`` timesteps.
 
         ``reset_timers=True`` clears the task breakdown (and the
         accumulated ``step_seconds``) first, so warmup/equilibration
         steps don't pollute the fractions this run reports — operation
         counters and thermodynamic state are left untouched.
+
+        ``checkpoint`` accepts a
+        :class:`repro.reliability.CheckpointManager` (or anything with a
+        ``maybe_checkpoint(simulation)`` method); it is consulted after
+        every completed step so periodic snapshots land on the step
+        boundaries they name.  For crash *recovery* on top of periodic
+        checkpoints, drive the loop through
+        :class:`repro.reliability.ResilientRunner` instead.
         """
         if n_steps < 0:
             raise ValueError("n_steps must be non-negative")
@@ -378,6 +425,8 @@ class Simulation:
             self.reset_timers()
         for _ in range(n_steps):
             self.step()
+            if checkpoint is not None:
+                checkpoint.maybe_checkpoint(self)
 
     def reset_timers(self) -> None:
         """Zero the per-task timers and the step wall-clock accumulator."""

@@ -34,10 +34,12 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import threading
 import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from threading import BrokenBarrierError
+from types import SimpleNamespace
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -48,6 +50,7 @@ from repro.md.kernels import backend_spec, get_backend
 from repro.md.neighbor import _encode_pairs
 from repro.md.potentials.base import ForceResult
 from repro.md.potentials.eam import EAMAlloy
+from repro.md.potentials.granular import ContactHistory
 from repro.md.simulation import ForceExecutor
 from repro.observability.timeline import RankTimeline
 from repro.parallel.decomposition import proc_grid
@@ -68,9 +71,24 @@ __all__ = ["ParallelForceExecutor", "ParallelEngineError"]
 CMD_STOP = 0.0
 CMD_STEP = 1.0
 CMD_REBUILD = 2.0
+CMD_DUMP_HISTORY = 3.0
 CMD_CRASH = 9.0
 
+# Fault-injection words (slot 5; slot 1 holds the target worker).  Set
+# by the master when a fault plan names the current step/phase; the
+# victim acts on them *after* the start barrier, so the failure always
+# lands mid-protocol the way a real crash would.
+FAULT_NONE = 0.0
+FAULT_KILL = 1.0
+FAULT_HANG = 2.0
+
+#: Exit code of a fault-injected kill (distinct from CMD_CRASH's 23).
+_FAULT_EXIT_CODE = 21
+
 _ERROR_BYTES = 2048
+
+#: Liveness-poll interval of the master's watchdog thread.
+_WATCHDOG_POLL_SECONDS = 0.05
 
 
 class ParallelEngineError(RuntimeError):
@@ -97,6 +115,13 @@ class _WorkerPayload:
     has_omega: bool
     needs_velocities: bool
     barrier_timeout: float
+    #: Potential slots carrying a contact-history store, and the row
+    #: capacity of their per-worker dump arrays.
+    history_slots: tuple = ()
+    history_cap: int = 0
+    #: Directed ``{slot: (keys, values)}`` tables each worker seeds its
+    #: local contact store from (the checkpoint-restore path).
+    initial_histories: dict = field(default_factory=dict)
 
 
 def _write_error(arena: ShmArena, worker_id: int, exc: BaseException) -> None:
@@ -124,18 +149,37 @@ def _worker_main(payload: _WorkerPayload, start_barrier, done_barrier) -> None:
     lists: DomainLists | None = None
     statics_local: dict | None = None
     histories: dict = {}
+    for slot, (keys, values) in payload.initial_histories.items():
+        store = ContactHistory()
+        store.load(keys, values)
+        histories[slot] = store
     # EAM's density pass is the only consumer of ghost-headed rows;
     # everyone else builds the owned-head-only directed list.
     owned_only = not any(isinstance(p, EAMAlloy) for p in payload.potentials)
+    # Hang/kill detection is the *master's* job (watchdog + its own
+    # timeout); the worker-side timeout only guards against a vanished
+    # master, so it gets a generous floor — a short master-side timeout
+    # (tuned for fast hang detection) must not make workers bail while
+    # the master is legitimately busy between dispatches, e.g. writing
+    # a checkpoint or restoring one.
+    wait_timeout = max(60.0, payload.barrier_timeout)
     try:
         while True:
-            start_barrier.wait(timeout=payload.barrier_timeout)
+            start_barrier.wait(timeout=wait_timeout)
             command = control[0]
             if command == CMD_STOP:
                 break
             try:
                 if command == CMD_CRASH and int(control[1]) == worker:
                     os._exit(23)
+                if control[5] != FAULT_NONE and int(control[1]) == worker:
+                    if control[5] == FAULT_KILL:
+                        os._exit(_FAULT_EXIT_CODE)
+                    # Injected hang: block without ever reaching the
+                    # done barrier, so only the master's barrier
+                    # timeout can detect it (the process stays alive
+                    # and the watchdog never fires).
+                    time.sleep(3600.0)
                 lengths = control[2:5].copy()
                 if command == CMD_REBUILD:
                     tick = time.perf_counter()
@@ -211,14 +255,55 @@ def _worker_main(payload: _WorkerPayload, start_barrier, done_barrier) -> None:
                     )
                     timing[worker, 0] = time.perf_counter() - tick
                     timing[worker, 1] = time.process_time() - cpu_tick
+                elif command == CMD_DUMP_HISTORY:
+                    for slot in payload.history_slots:
+                        store = histories.get(slot)
+                        keys, values = (
+                            store.export()
+                            if store is not None
+                            else (
+                                np.empty(0, dtype=np.int64),
+                                np.empty((0, 3), dtype=float),
+                            )
+                        )
+                        if len(keys) > payload.history_cap:
+                            raise RuntimeError(
+                                f"contact-history dump overflow: {len(keys)} "
+                                f"rows exceed capacity {payload.history_cap}"
+                            )
+                        arena[f"hist{slot}_count"][worker] = len(keys)
+                        arena[f"hist{slot}_keys"][worker, : len(keys)] = keys
+                        arena[f"hist{slot}_values"][worker, : len(keys)] = values
             except Exception as exc:  # report, then meet the done barrier
                 _write_error(arena, worker, exc)
-            done_barrier.wait(timeout=payload.barrier_timeout)
+            done_barrier.wait(timeout=wait_timeout)
     except BrokenBarrierError:
         # Master died or aborted; nothing to report to.
         pass
     finally:
         arena.close()
+
+
+def _watch_workers(workers, barriers, stop: threading.Event) -> None:
+    """Master-side liveness watchdog.
+
+    A killed worker never reaches its next barrier, so without help the
+    master would block for the full ``barrier_timeout``.  This thread
+    polls worker liveness and *aborts* both barriers the moment any
+    worker dies, converting the master's pending ``wait`` into an
+    immediate :class:`~threading.BrokenBarrierError` — detection in
+    ~`_WATCHDOG_POLL_SECONDS` instead of the timeout.  (An injected
+    *hang* keeps its process alive, so that path is still covered by
+    the barrier timeout, by design.)
+    """
+    while not stop.wait(_WATCHDOG_POLL_SECONDS):
+        if any(not process.is_alive() for process in workers):
+            for barrier in barriers:
+                try:
+                    barrier.abort()
+                except Exception:  # pragma: no cover - already broken
+                    pass
+            return
 
 
 class ParallelForceExecutor(ForceExecutor):
@@ -238,6 +323,12 @@ class ParallelForceExecutor(ForceExecutor):
         ``multiprocessing`` start method; default ``fork`` where
         available (workers inherit the parent cleanly), else ``spawn``
         (payloads are picklable either way).
+    fault_plan:
+        Optional deterministic fault injector (anything with a
+        ``take(step, phase) -> spec | None`` method returning specs with
+        ``kind`` (``"kill"``/``"hang"``) and ``worker`` attributes —
+        normally a :class:`repro.reliability.FaultPlan`).  When ``None``,
+        ``$REPRO_FAULT_PLAN`` is consulted lazily on first dispatch.
     """
 
     def __init__(
@@ -247,6 +338,7 @@ class ParallelForceExecutor(ForceExecutor):
         barrier_timeout: float = 120.0,
         quasi_2d: bool = False,
         start_method: str | None = None,
+        fault_plan=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -264,6 +356,17 @@ class ParallelForceExecutor(ForceExecutor):
         self._done_barrier = None
         self._started = False
         self._closed = False
+        self.fault_plan = fault_plan
+        self._fault_env_checked = False
+        self._pending_kill: int | None = None
+        self._history_slots: tuple = ()
+        self._history_cap = 0
+        self._initial_histories: dict = {}
+        self._watchdog: threading.Thread | None = None
+        self._watchdog_stop: threading.Event | None = None
+        #: Pool generation counter: bumped by every (re)spawn, so
+        #: recovery code and tests can assert a respawn happened.
+        self.spawn_generation = 0
         #: Accumulated per-worker seconds (wall Pair, CPU Pair, wall Neigh).
         self.worker_pair_seconds = np.zeros(self.n_workers)
         self.worker_pair_cpu_seconds = np.zeros(self.n_workers)
@@ -302,6 +405,22 @@ class ParallelForceExecutor(ForceExecutor):
             layout["omega"] = ((n, 3), np.float64)
         if system.torques is not None:
             layout["torques"] = ((n, 3), np.float64)
+        self._history_slots = tuple(
+            slot
+            for slot, potential in enumerate(potentials)
+            if getattr(potential, "history", None) is not None
+        )
+        self._history_cap = max(256, 8 * n)
+        for slot in self._history_slots:
+            layout[f"hist{slot}_count"] = ((self.n_workers,), np.int64)
+            layout[f"hist{slot}_keys"] = (
+                (self.n_workers, self._history_cap),
+                np.int64,
+            )
+            layout[f"hist{slot}_values"] = (
+                (self.n_workers, self._history_cap, 3),
+                np.float64,
+            )
         self._arena = ShmArena.create(layout)
 
         list_cutoff = sim.neighbor.list_cutoff
@@ -347,6 +466,9 @@ class ParallelForceExecutor(ForceExecutor):
                 has_omega=has_omega,
                 needs_velocities=needs_velocities or has_omega,
                 barrier_timeout=self.barrier_timeout,
+                history_slots=self._history_slots,
+                history_cap=self._history_cap,
+                initial_histories=self._initial_histories,
             )
             process = self._ctx.Process(
                 target=_worker_main,
@@ -357,17 +479,41 @@ class ParallelForceExecutor(ForceExecutor):
             process.start()
             self._workers.append(process)
         self._started = True
+        self.spawn_generation += 1
+        self._watchdog_stop = threading.Event()
+        self._watchdog = threading.Thread(
+            target=_watch_workers,
+            args=(
+                list(self._workers),
+                (self._start_barrier, self._done_barrier),
+                self._watchdog_stop,
+            ),
+            daemon=True,
+            name="repro-worker-watchdog",
+        )
+        self._watchdog.start()
 
-    def close(self) -> None:
-        """Stop the workers and release every shared segment."""
-        if self._closed:
-            return
-        self._closed = True
+    def _teardown(self) -> None:
+        """Stop the pool and release shared state, staying respawnable.
+
+        Unlike :meth:`close`, a torn-down executor is still usable: the
+        next ``maintain_neighbors``/``compute`` call runs :meth:`_start`
+        again, spawning a fresh pool (seeded with whatever
+        ``import_contact_histories`` installed last).  This is the
+        recovery path's respawn primitive.
+        """
+        if self._watchdog_stop is not None:
+            self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=2.0)
+        self._watchdog = None
+        self._watchdog_stop = None
         if self._started and self._arena is not None:
             alive = [p for p in self._workers if p.is_alive()]
             if alive:
                 try:
                     self._arena["control"][0] = CMD_STOP
+                    self._arena["control"][5] = FAULT_NONE
                     self._start_barrier.wait(timeout=5.0)
                 except (BrokenBarrierError, ValueError):
                     pass
@@ -376,9 +522,20 @@ class ParallelForceExecutor(ForceExecutor):
                 if process.is_alive():  # pragma: no cover - stuck worker
                     process.terminate()
                     process.join(timeout=5.0)
+        self._workers = []
+        self._start_barrier = None
+        self._done_barrier = None
+        self._started = False
         if self._arena is not None:
             self._arena.close()
             self._arena = None
+
+    def close(self) -> None:
+        """Stop the workers and release every shared segment (final)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._teardown()
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
@@ -397,11 +554,19 @@ class ParallelForceExecutor(ForceExecutor):
             np.copyto(arena["omega"], system.omega)
         arena["control"][2:5] = system.box.lengths
 
-    def _dispatch(self, command: float, *, crash_target: int = -1) -> None:
+    def _dispatch(
+        self, command: float, *, crash_target: int = -1, fault=None
+    ) -> None:
         """One command round-trip: start barrier, worker action, done."""
         arena = self._arena
         arena["control"][0] = command
         arena["control"][1] = float(crash_target)
+        arena["control"][5] = FAULT_NONE
+        if fault is not None:
+            arena["control"][1] = float(fault.worker)
+            arena["control"][5] = (
+                FAULT_KILL if fault.kind == "kill" else FAULT_HANG
+            )
         try:
             self._start_barrier.wait(timeout=self.barrier_timeout)
             self._done_barrier.wait(timeout=self.barrier_timeout)
@@ -414,7 +579,12 @@ class ParallelForceExecutor(ForceExecutor):
             self._fail(f"worker {failed} raised:\n{message}")
 
     def _fail(self, reason: str) -> None:
-        """Collect worker status, tear down, and raise."""
+        """Collect worker status, tear the pool down, and raise.
+
+        The executor is left *respawnable* (see :meth:`_teardown`), so a
+        supervisor catching the :class:`ParallelEngineError` can restore
+        a checkpoint and keep using this same executor instance.
+        """
         status = []
         for worker_id, process in enumerate(self._workers):
             if not process.is_alive() and process.exitcode not in (0, None):
@@ -431,8 +601,58 @@ class ParallelForceExecutor(ForceExecutor):
                 except Exception:  # pragma: no cover - already broken
                     pass
         detail = ("; ".join(status)) or "no worker diagnostics recorded"
-        self.close()
+        self._teardown()
         raise ParallelEngineError(f"{reason} [{detail}]")
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def _active_fault_plan(self):
+        """The configured fault plan, resolving ``$REPRO_FAULT_PLAN``
+        lazily (a function-level import keeps :mod:`repro.reliability`
+        out of this module's import graph)."""
+        if self.fault_plan is None and not self._fault_env_checked:
+            self._fault_env_checked = True
+            if os.environ.get("REPRO_FAULT_PLAN"):
+                from repro.reliability.faultplan import FaultPlan
+
+                self.fault_plan = FaultPlan.from_env()
+        return self.fault_plan
+
+    def _take_fault(self, phase: str):
+        if self._pending_kill is not None:
+            worker = self._pending_kill
+            self._pending_kill = None
+            return SimpleNamespace(kind="kill", worker=worker)
+        plan = self._active_fault_plan()
+        if plan is None:
+            return None
+        spec = plan.take(self.simulation.step_number, phase)
+        if spec is not None and not 0 <= spec.worker < self.n_workers:
+            raise ValueError(
+                f"fault plan targets worker {spec.worker} but the engine "
+                f"has {self.n_workers} workers"
+            )
+        return spec
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Schedule one worker's death at its next command dispatch.
+
+        This is the checkpoint-phase fault: from the supervisor's view
+        the process dies right after the failed write, and the watchdog
+        breaks the pending dispatch into a :class:`ParallelEngineError`.
+        The kill is delivered *in-band* (the worker ``os._exit``s just
+        after passing the start barrier) rather than as an asynchronous
+        SIGKILL: a signal landing while the victim holds a barrier's
+        internal semaphore would leave that lock held forever, and the
+        master, watchdog and surviving workers would all deadlock
+        trying to acquire it.
+        """
+        if not self._started:
+            raise RuntimeError("engine not started")
+        if not 0 <= worker_id < self.n_workers:
+            raise ValueError(f"no worker {worker_id}")
+        self._pending_kill = int(worker_id)
 
     # ------------------------------------------------------------------
     # ForceExecutor interface
@@ -457,7 +677,7 @@ class ParallelForceExecutor(ForceExecutor):
                 "system or shrink the cutoff"
             )
         self._publish_state(system)
-        self._dispatch(CMD_REBUILD)
+        self._dispatch(CMD_REBUILD, fault=self._take_fault("rebuild"))
         neighbor._positions_at_build = system.box.wrap(system.positions)
         neighbor._box_lengths_at_build = system.box.lengths.copy()
         stats = neighbor.stats
@@ -476,7 +696,7 @@ class ParallelForceExecutor(ForceExecutor):
             self.maintain_neighbors(system, force=True)
         arena = self._arena
         self._publish_state(system)
-        self._dispatch(CMD_STEP)
+        self._dispatch(CMD_STEP, fault=self._take_fault("step"))
 
         np.copyto(system.forces, arena["forces"])
         if system.torques is not None and "torques" in arena:
@@ -497,6 +717,73 @@ class ParallelForceExecutor(ForceExecutor):
         self.worker_pair_cpu_seconds += arena["timing"][:, 1]
         self.steps_measured += 1
         return ForceResult(energy, virial, interactions)
+
+    # ------------------------------------------------------------------
+    # Contact-history round-trip (checkpoint/restart)
+    # ------------------------------------------------------------------
+    def export_contact_histories(self) -> dict[int, tuple]:
+        """Collect worker-local contact stores into canonical tables.
+
+        Each touching pair is stored twice across the pool (once per
+        directed row, by its head's owner); keeping only the ``gi < gj``
+        orientation — whose tangential displacement matches the serial
+        half-list convention by the contact law's direction-swap
+        symmetry — reduces the pool state to exactly the serial store,
+        sorted by key for decomposition-independent output.
+        """
+        if not self._started:
+            return super().export_contact_histories()
+        if not self._history_slots:
+            return {}
+        self._dispatch(CMD_DUMP_HISTORY)
+        n = self.simulation.system.n_atoms
+        tables: dict[int, tuple] = {}
+        for slot in self._history_slots:
+            counts = self._arena[f"hist{slot}_count"]
+            key_blocks = []
+            value_blocks = []
+            for worker in range(self.n_workers):
+                rows = int(counts[worker])
+                key_blocks.append(
+                    self._arena[f"hist{slot}_keys"][worker, :rows].copy()
+                )
+                value_blocks.append(
+                    self._arena[f"hist{slot}_values"][worker, :rows].copy()
+                )
+            keys = np.concatenate(key_blocks)
+            values = np.concatenate(value_blocks)
+            canonical = (keys // n) < (keys % n)
+            keys = keys[canonical]
+            values = values[canonical]
+            order = np.argsort(keys, kind="stable")
+            tables[slot] = (keys[order], values[order])
+        return tables
+
+    def import_contact_histories(self, tables: dict[int, tuple]) -> None:
+        """Install checkpointed contact tables as the pool's seed state.
+
+        The canonical ``i < j`` rows are kept in the master-side
+        potentials (via the base implementation — that copy is what a
+        later degradation to the serial executor runs on) and expanded
+        to both directed orientations (mirror keys, negated values) for
+        the workers.  A running pool is torn down: its workers hold
+        stale stores, and the next dispatch respawns them with these
+        tables.
+        """
+        super().import_contact_histories(tables)
+        n = self.simulation.system.n_atoms
+        directed: dict = {}
+        for slot, (keys, values) in tables.items():
+            keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+            values = np.asarray(values, dtype=float).reshape(-1, 3)
+            mirror = (keys % n) * np.int64(n) + keys // n
+            directed[slot] = (
+                np.concatenate([keys, mirror]),
+                np.concatenate([values, -values]),
+            )
+        self._initial_histories = directed
+        if self._started:
+            self._teardown()
 
     # ------------------------------------------------------------------
     # Observability

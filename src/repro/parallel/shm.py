@@ -151,6 +151,11 @@ class ShmArena:
     def __contains__(self, name: str) -> bool:
         return name in self._arrays
 
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across every shared segment (observability)."""
+        return sum(array.array.nbytes for array in self._arrays.values())
+
     def close(self) -> None:
         for array in self._arrays.values():
             array.close()

@@ -1,0 +1,28 @@
+"""Fault tolerance: checkpoint/restart + supervised crash recovery.
+
+Three layers (see ``docs/RELIABILITY.md``):
+
+* :mod:`repro.md.restart` (format v2) serializes the *complete*
+  dynamical state — this package's foundation, kept in ``repro.md``
+  because serial restarts need it too;
+* :class:`CheckpointManager` adds the periodic/atomic/retained write
+  policy and corrupted-file-skipping recovery;
+* :class:`ResilientRunner` supervises a run: detect worker failure,
+  respawn from the last checkpoint with bounded backoff, degrade to
+  the serial executor when respawns are exhausted.
+
+:class:`FaultPlan` is the deterministic crash injector driving the
+test harness (``$REPRO_FAULT_PLAN`` / ``--fault-plan``).
+"""
+
+from repro.reliability.checkpoint import CheckpointManager
+from repro.reliability.faultplan import FaultPlan, FaultSpec
+from repro.reliability.recovery import RecoveryEvent, ResilientRunner
+
+__all__ = [
+    "CheckpointManager",
+    "FaultPlan",
+    "FaultSpec",
+    "RecoveryEvent",
+    "ResilientRunner",
+]

@@ -1,0 +1,184 @@
+"""Periodic, atomic, retained checkpoints of a running simulation.
+
+:class:`CheckpointManager` is the policy layer over
+:func:`repro.md.restart.save_snapshot`'s format-v2 payloads:
+
+* **cadence** — ``maybe_checkpoint`` writes on every step divisible by
+  ``every`` (it plugs straight into ``Simulation.run(checkpoint=...)``);
+* **atomicity** — payloads are written to a hidden temp file in the
+  same directory and ``os.replace``d into place, so a crash mid-write
+  can never leave a truncated file under a checkpoint name;
+* **retention** — only the newest ``keep_last`` checkpoints are kept;
+* **recovery** — ``restore_latest`` walks the retained files newest
+  first and restores the first one that parses, skipping corrupted
+  leftovers;
+* **observability** — writes are traced (``checkpoint.write`` spans)
+  and counted (``md_checkpoints_total``, ``md_checkpoint_write_seconds``,
+  ``md_checkpoint_bytes``) when a tracer/registry is attached;
+* **fault injection** — a checkpoint-phase :class:`~repro.reliability.
+  faultplan.FaultSpec` simulates the process dying mid-write: a partial
+  temp file is left behind, no checkpoint is recorded, and the named
+  worker is scheduled to die (in-band, at its next command — see
+  ``ParallelForceExecutor.kill_worker``) so the run aborts the way a
+  real crash would.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.md.restart import (
+    Snapshot,
+    SnapshotError,
+    restore_simulation,
+    snapshot_payload,
+)
+from repro.observability import resolve_tracer
+
+__all__ = ["CheckpointManager"]
+
+
+class CheckpointManager:
+    """Write/retain/restore policy for periodic simulation checkpoints.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoint files live (created if missing).
+    every:
+        Checkpoint every N steps; ``0`` disables the periodic cadence
+        (explicit :meth:`write` calls still work).
+    keep_last:
+        Retention depth; older checkpoints are deleted after each write.
+    prefix:
+        Filename prefix; files are ``{prefix}-{step:09d}.npz``.
+    metrics, tracer:
+        Optional observability sinks (same conventions as Simulation).
+    fault_plan:
+        Optional :class:`~repro.reliability.faultplan.FaultPlan`
+        consulted for ``checkpoint``-phase faults on every write.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        every: int = 0,
+        keep_last: int = 3,
+        prefix: str = "ckpt",
+        metrics=None,
+        tracer=None,
+        fault_plan=None,
+    ) -> None:
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.every = int(every)
+        self.keep_last = int(keep_last)
+        self.prefix = str(prefix)
+        self.metrics = metrics
+        self.tracer = resolve_tracer(tracer)
+        self.fault_plan = fault_plan
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path_for(self, step: int) -> Path:
+        return self.directory / f"{self.prefix}-{int(step):09d}.npz"
+
+    def checkpoints(self) -> list[Path]:
+        """Retained checkpoint files, oldest first (sorted by step)."""
+        return sorted(self.directory.glob(f"{self.prefix}-*.npz"))
+
+    def latest(self) -> Path | None:
+        files = self.checkpoints()
+        return files[-1] if files else None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def maybe_checkpoint(self, simulation) -> Path | None:
+        """Periodic hook for ``Simulation.run``: write on the cadence."""
+        if self.every <= 0 or simulation.step_number % self.every != 0:
+            return None
+        return self.write(simulation)
+
+    def write(self, simulation) -> Path | None:
+        """Checkpoint the simulation's current step atomically.
+
+        Returns the final path, or ``None`` when a checkpoint-phase
+        fault consumed the write (the crash-mid-write simulation).
+        """
+        step = simulation.step_number
+        final = self.path_for(step)
+        tmp = final.parent / f".{final.name}.tmp"
+        start = time.perf_counter()
+        with self.tracer.span("checkpoint.write", "checkpoint"):
+            # Gathering the payload may round-trip worker state (the
+            # parallel executor dumps contact histories over shm), so it
+            # happens before any file I/O.
+            payload = snapshot_payload(simulation)
+            fault = (
+                self.fault_plan.take(step, "checkpoint")
+                if self.fault_plan is not None
+                else None
+            )
+            if fault is not None:
+                # Simulate dying mid-write: a partial temp file is left
+                # on disk (restore_latest must skip it), the final name
+                # never appears, and the named worker's death is
+                # scheduled so the run aborts like a real crash.
+                tmp.write_bytes(b"\x00" * 512)
+                executor = simulation.force_executor
+                if hasattr(executor, "kill_worker"):
+                    executor.kill_worker(fault.worker)
+                return None
+            with open(tmp, "wb") as handle:
+                np.savez_compressed(handle, **payload)
+            os.replace(tmp, final)
+        elapsed = time.perf_counter() - start
+        self.writes += 1
+        if self.metrics is not None:
+            self.metrics.counter("md_checkpoints_total").inc()
+            self.metrics.histogram("md_checkpoint_write_seconds").observe(elapsed)
+            self.metrics.gauge("md_checkpoint_bytes").set(final.stat().st_size)
+        self._prune()
+        return final
+
+    def _prune(self) -> None:
+        files = self.checkpoints()
+        for stale in files[: -self.keep_last]:
+            try:
+                stale.unlink()
+            except FileNotFoundError:  # pragma: no cover - lost race
+                pass
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def restore_latest(self, simulation) -> tuple[Path, Snapshot]:
+        """Restore the newest checkpoint that parses.
+
+        Corrupted or truncated files (e.g. the artifact of a crash
+        mid-write) are skipped with the next-older file tried instead;
+        :class:`~repro.md.restart.SnapshotError` is raised only when no
+        retained checkpoint is restorable.
+        """
+        last_error: SnapshotError | None = None
+        for path in reversed(self.checkpoints()):
+            try:
+                snapshot = restore_simulation(simulation, path)
+            except SnapshotError as exc:
+                last_error = exc
+                continue
+            return path, snapshot
+        detail = f" (last error: {last_error})" if last_error else ""
+        raise SnapshotError(
+            f"no restorable checkpoint under {self.directory}{detail}"
+        )
