@@ -148,11 +148,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if metrics_path.exists():
         metrics_path.unlink()  # JSONL appends; start each invocation fresh
     print(f"tracing {args.steps} steps ...")
+    from repro.md import RunConfig
+
     chunk = max(1, min(args.snapshot_every, args.steps))
     done = 0
     while done < args.steps:
         n = min(chunk, args.steps - done)
-        sim.run(n, reset_timers=done == 0)
+        sim.run(RunConfig(steps=n, reset_timers=done == 0))
         done += n
         metrics.write_snapshot(metrics_path, step=done, experiment=args.experiment)
 
@@ -173,6 +175,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"wrote {trace_path} (open in chrome://tracing or ui.perfetto.dev)")
     print(f"wrote {metrics_path}")
     return 0
+
+
+#: Serial/parallel (and restart) parity tolerance on |dx| / |dF| by
+#: precision mode.  The double bound is the engine's documented 1e-10
+#: contract; the narrower storage dtypes legitimately round differently
+#: between the serial half-list and the directed parallel rows, so their
+#: bounds scale with the storage epsilon rather than signalling a bug.
+PARITY_TOLERANCES = {
+    "double": 1e-10,
+    "mixed": 1e-3,
+    "single": 1e-2,
+}
 
 
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
@@ -197,12 +211,14 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
 
     def build(fault_plan=None):
         sim = bench.build(args.atoms)
+        sim.set_precision(args.precision)
         if args.workers > 1:
             executor = ParallelForceExecutor(
                 args.workers,
                 quasi_2d=args.experiment == "chute",
                 fault_plan=fault_plan,
                 barrier_timeout=args.barrier_timeout,
+                precision=args.precision,
             )
             sim.force_executor = executor
             executor.bind(sim)
@@ -210,7 +226,8 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
 
     sim = build(fault_plan=plan)
     print(f"built {args.experiment}: {sim.system.n_atoms} atoms on "
-          f"{args.workers} worker(s); checkpoint every {args.every} steps "
+          f"{args.workers} worker(s) at {args.precision} precision; "
+          f"checkpoint every {args.every} steps "
           f"under {args.out}"
           + (f"; fault plan {plan_text!r}" if plan_text else ""))
     manager = CheckpointManager(
@@ -241,9 +258,10 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         np.array_equal(reference.system.positions, sim.system.positions)
         and np.array_equal(reference.system.velocities, sim.system.velocities)
     )
-    verdict = "OK" if (bitwise or delta <= 1e-10) else "DIVERGED"
+    tolerance = PARITY_TOLERANCES[args.precision]
+    verdict = "OK" if (bitwise or delta <= tolerance) else "DIVERGED"
     print(f"parity vs uninterrupted run: bitwise={bitwise}, "
-          f"|dx|max = {delta:.3e} ({verdict})")
+          f"|dx|max = {delta:.3e} (tol {tolerance:.0e}, {verdict})")
     return 0 if verdict == "OK" else 1
 
 
@@ -252,6 +270,7 @@ def _cmd_scale(args: argparse.Namespace) -> int:
 
     import numpy as np
 
+    from repro.md import RunConfig
     from repro.parallel.engine import ParallelForceExecutor
     from repro.suite import get_benchmark
 
@@ -259,15 +278,16 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     quasi_2d = args.experiment == "chute"
 
     serial = bench.build(args.atoms)
+    serial.set_precision(args.precision)
     serial.setup()
     print(f"built {args.experiment}: {serial.system.n_atoms} atoms, "
-          f"{os.cpu_count()} cores visible; "
-          f"running {args.steps} steps serial then on {args.workers} workers")
+          f"{os.cpu_count()} cores visible; running {args.steps} steps at "
+          f"{args.precision} precision, serial then on {args.workers} workers")
     import time as _time
 
     tick = _time.perf_counter()
     cpu_tick = _time.process_time()
-    serial.run(args.steps, reset_timers=True)
+    serial.run(RunConfig(steps=args.steps, reset_timers=True))
     serial_wall = _time.perf_counter() - tick
     serial_cpu = _time.process_time() - cpu_tick
     serial_pair = serial.timers.seconds.get("Pair", 0.0)
@@ -283,7 +303,10 @@ def _cmd_scale(args: argparse.Namespace) -> int:
               f"under {args.checkpoint_dir}")
 
     parallel = bench.build(args.atoms)
-    executor = ParallelForceExecutor(args.workers, quasi_2d=quasi_2d)
+    parallel.set_precision(args.precision)
+    executor = ParallelForceExecutor(
+        args.workers, quasi_2d=quasi_2d, precision=args.precision
+    )
     parallel.force_executor = executor
     executor.bind(parallel)
     with parallel:
@@ -291,9 +314,14 @@ def _cmd_scale(args: argparse.Namespace) -> int:
         # Drop the setup-time initial build from the accumulators; the
         # serial side's reset_timers does the same for its task timers.
         executor.reset_timings()
+        storage = np.dtype(executor.precision.storage_dtype)
+        print(f"shm arena: {executor.arena_nbytes / 1e6:.2f} MB "
+              f"({storage.name} per-atom exchange state)")
         tick = _time.perf_counter()
         cpu_tick = _time.process_time()
-        parallel.run(args.steps, reset_timers=True, checkpoint=manager)
+        parallel.run(
+            RunConfig(steps=args.steps, reset_timers=True, checkpoint=manager)
+        )
         parallel_wall = _time.perf_counter() - tick
         master_cpu = _time.process_time() - cpu_tick
         if manager is not None:
@@ -304,9 +332,11 @@ def _cmd_scale(args: argparse.Namespace) -> int:
             np.abs(serial.system.forces - parallel.system.forces).max()
         )
         energy_delta = abs(serial.potential_energy - parallel.potential_energy)
+        parity_tol = PARITY_TOLERANCES[args.precision]
         print(f"parity: |dF|max = {force_delta:.3e}, "
               f"|dE| = {energy_delta:.3e} "
-              f"({'OK' if force_delta < 1e-10 else 'DIVERGED'})")
+              f"(tol {parity_tol:.0e}, "
+              f"{'OK' if force_delta < parity_tol else 'DIVERGED'})")
         print(f"serial:   {args.steps / serial_wall:8.2f} steps/s "
               f"({serial_wall:.3f} s wall, Pair {serial_pair:.3f} s)")
         print(f"parallel: {args.steps / parallel_wall:8.2f} steps/s "
@@ -326,7 +356,7 @@ def _cmd_scale(args: argparse.Namespace) -> int:
               f"ms/step)")
         print()
         print(executor.timeline().render())
-    return 0 if force_delta < 1e-10 else 1
+    return 0 if force_delta < parity_tol else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -384,6 +414,11 @@ def main(argv: list[str] | None = None) -> int:
                        help="periodic checkpoint cadence in steps (0 = off)")
     scale.add_argument("--checkpoint-dir", default="checkpoint_out",
                        help="directory for --checkpoint-every snapshots")
+    scale.add_argument("--precision", choices=("single", "mixed", "double"),
+                       default="double",
+                       help="dtype policy for both the serial reference and "
+                            "the worker pool (parity tolerance scales with "
+                            "the mode)")
     scale.set_defaults(func=_cmd_scale)
 
     checkpoint = sub.add_parser(
@@ -413,6 +448,11 @@ def main(argv: list[str] | None = None) -> int:
                                  "hung")
     checkpoint.add_argument("--verify-parity", action="store_true",
                             help="re-run uninterrupted and compare final state")
+    checkpoint.add_argument("--precision",
+                            choices=("single", "mixed", "double"),
+                            default="double",
+                            help="dtype policy; checkpoints record it and "
+                                 "restarts refuse a silent mode change")
     checkpoint.set_defaults(func=_cmd_checkpoint)
 
     args = parser.parse_args(argv)

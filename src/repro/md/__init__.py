@@ -14,6 +14,7 @@ this engine's operation counts onto the paper's CPU/GPU instances.
 from repro.md.atoms import AtomSystem, Topology
 from repro.md.bonded import CosineDihedral, FENEBond, HarmonicAngle, HarmonicBond
 from repro.md.box import Box
+from repro.md.config import RunConfig
 from repro.md.computes import (
     MeanSquaredDisplacement,
     RadialDistribution,
@@ -41,6 +42,12 @@ from repro.md.potentials import (
     HookeHistory,
     LennardJonesCut,
 )
+from repro.md.precision import (
+    Precision,
+    PrecisionPolicy,
+    parse_precision,
+    policy_for,
+)
 from repro.md.restart import load_system, restore_simulation, save_snapshot
 from repro.md.simulation import Simulation
 from repro.md.thermo import ThermoLog
@@ -52,6 +59,11 @@ __all__ = [
     "Box",
     "NeighborList",
     "Simulation",
+    "RunConfig",
+    "Precision",
+    "PrecisionPolicy",
+    "parse_precision",
+    "policy_for",
     "TaskTimers",
     "TASKS",
     "ThermoLog",

@@ -78,6 +78,13 @@ class AtomSystem:
     radii:
         Per-atom radii for granular (finite-size) particles; ``None``
         means point particles.
+    dtype:
+        Storage dtype of the *dynamical* state (positions, velocities,
+        forces, angular state).  ``None`` infers float32 only when the
+        ``positions`` input already is a float32 array (so restart files
+        round-trip without silent upcast) and defaults to float64
+        otherwise.  Static parameters (masses, charges, radii) always
+        stay float64 — compute paths cast them per use.
     """
 
     def __init__(
@@ -92,8 +99,17 @@ class AtomSystem:
         topology: Topology | None = None,
         radii: np.ndarray | None = None,
         molecule_ids: np.ndarray | None = None,
+        dtype: np.dtype | str | None = None,
     ) -> None:
-        positions = np.array(positions, dtype=float).reshape(-1, 3)
+        if dtype is None:
+            source = np.asarray(positions)
+            dtype = np.float32 if source.dtype == np.float32 else np.float64
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(
+                f"storage dtype must be float32 or float64, got {dtype}"
+            )
+        positions = np.array(positions, dtype=dtype).reshape(-1, 3)
         n = len(positions)
         if n == 0:
             raise ValueError("an AtomSystem needs at least one atom")
@@ -101,8 +117,8 @@ class AtomSystem:
         self.images = np.zeros((n, 3), dtype=np.int64)
         self.positions, self.images = box.wrap_with_images(positions, self.images)
 
-        self.velocities = self._per_atom(velocities, n, 3, 0.0)
-        self.forces = np.zeros((n, 3), dtype=float)
+        self.velocities = self._per_atom(velocities, n, 3, 0.0, dtype=dtype)
+        self.forces = np.zeros((n, 3), dtype=dtype)
         self.masses = self._per_atom(masses, n, None, 1.0)
         if np.any(self.masses <= 0):
             raise ValueError("atom masses must be positive")
@@ -121,19 +137,23 @@ class AtomSystem:
             else np.asarray(molecule_ids, dtype=np.int64).reshape(n).copy()
         )
         # Angular state only allocated for granular systems.
-        self.omega = np.zeros((n, 3), dtype=float) if radii is not None else None
-        self.torques = np.zeros((n, 3), dtype=float) if radii is not None else None
+        self.omega = np.zeros((n, 3), dtype=dtype) if radii is not None else None
+        self.torques = np.zeros((n, 3), dtype=dtype) if radii is not None else None
 
     @staticmethod
     def _per_atom(
-        values: np.ndarray | float | None, n: int, width: int | None, default: float
+        values: np.ndarray | float | None,
+        n: int,
+        width: int | None,
+        default: float,
+        dtype: np.dtype = np.dtype(np.float64),
     ) -> np.ndarray:
         shape = (n,) if width is None else (n, width)
         if values is None:
-            return np.full(shape, default, dtype=float)
-        arr = np.asarray(values, dtype=float)
+            return np.full(shape, default, dtype=dtype)
+        arr = np.asarray(values, dtype=dtype)
         if arr.ndim == 0:
-            return np.full(shape, float(arr), dtype=float)
+            return np.full(shape, float(arr), dtype=dtype)
         return arr.reshape(shape).copy()
 
     # ------------------------------------------------------------------
@@ -150,6 +170,35 @@ class AtomSystem:
     @property
     def is_granular(self) -> bool:
         return self.radii is not None
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the dynamical per-atom state."""
+        return self.positions.dtype
+
+    def cast_storage(self, dtype: np.dtype | str) -> None:
+        """Cast the dynamical state (positions, velocities, forces,
+        angular state) to ``dtype`` in place.
+
+        float32 -> float64 is exact; float64 -> float32 rounds — the
+        explicit entry point the precision policy (and the restart
+        layer's ``cast=`` opt-in) uses, so no code path upcasts or
+        downcasts silently.
+        """
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(
+                f"storage dtype must be float32 or float64, got {dtype}"
+            )
+        if self.positions.dtype == dtype:
+            return
+        self.positions = self.positions.astype(dtype)
+        self.velocities = self.velocities.astype(dtype)
+        self.forces = self.forces.astype(dtype)
+        if self.omega is not None:
+            self.omega = self.omega.astype(dtype)
+        if self.torques is not None:
+            self.torques = self.torques.astype(dtype)
 
     # ------------------------------------------------------------------
     # Thermodynamic state helpers
@@ -194,12 +243,15 @@ class AtomSystem:
 
     def unwrapped_positions(self) -> np.ndarray:
         """Positions with periodic image shifts undone."""
-        return self.positions + self.images * self.box.lengths
+        shift = (self.images * self.box.lengths).astype(self.positions.dtype)
+        return self.positions + shift
 
     def seed_velocities(self, temperature: float, rng: np.random.Generator) -> None:
         """Draw Maxwell–Boltzmann velocities at ``temperature`` (kB = 1)."""
         sigma = np.sqrt(temperature / self.masses)[:, None]
-        self.velocities = rng.normal(size=(self.n_atoms, 3)) * sigma
+        self.velocities = (rng.normal(size=(self.n_atoms, 3)) * sigma).astype(
+            self.dtype, copy=False
+        )
         self.zero_momentum()
         # Rescale to hit the target temperature exactly after removing the
         # centre-of-mass motion.

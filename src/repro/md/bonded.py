@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.md.atoms import AtomSystem
 from repro.md.potentials.base import ForceResult
+from repro.md.precision import DOUBLE_POLICY, PrecisionPolicy
 
 __all__ = [
     "BondedForce",
@@ -30,6 +31,14 @@ def _per_type(values: float | np.ndarray) -> np.ndarray:
 
 class BondedForce(abc.ABC):
     """Interface of bonded-force terms (evaluated over the topology)."""
+
+    #: Precision policy the term evaluates under (installed by the
+    #: owning Simulation; the default is full float64).
+    policy: PrecisionPolicy = DOUBLE_POLICY
+
+    def _compute_positions(self, system: AtomSystem) -> np.ndarray:
+        """Positions in the policy's compute dtype (no-op at float64)."""
+        return system.positions.astype(self.policy.compute_dtype, copy=False)
 
     @abc.abstractmethod
     def compute(self, system: AtomSystem) -> ForceResult:
@@ -52,18 +61,20 @@ class HarmonicBond(BondedForce):
             return ForceResult()
         i, j = bonds[:, 0], bonds[:, 1]
         types = system.topology.bond_types
-        k = self.k[np.minimum(types, len(self.k) - 1)]
-        r0 = self.r0[np.minimum(types, len(self.r0) - 1)]
-        dr = system.box.minimum_image(system.positions[i] - system.positions[j])
+        ct = self.policy.compute_dtype
+        k = self.k.astype(ct, copy=False)[np.minimum(types, len(self.k) - 1)]
+        r0 = self.r0.astype(ct, copy=False)[np.minimum(types, len(self.r0) - 1)]
+        positions = self._compute_positions(system)
+        dr = system.box.minimum_image(positions[i] - positions[j])
         r = np.linalg.norm(dr, axis=1)
         stretch = r - r0
-        energy = float(np.sum(k * stretch * stretch))
+        energy = float(np.sum(k * stretch * stretch, dtype=np.float64))
         # F_i = -dE/dr * r_hat ; dE/dr = 2 k (r - r0)
         f_over_r = -2.0 * k * stretch / r
         fvec = f_over_r[:, None] * dr
         np.add.at(system.forces, i, fvec)
         np.subtract.at(system.forces, j, fvec)
-        virial = float(np.sum(f_over_r * r * r))
+        virial = float(np.sum(f_over_r * r * r, dtype=np.float64))
         return ForceResult(energy, virial, len(bonds))
 
 
@@ -94,7 +105,8 @@ class FENEBond(BondedForce):
         if len(bonds) == 0:
             return ForceResult()
         i, j = bonds[:, 0], bonds[:, 1]
-        dr = system.box.minimum_image(system.positions[i] - system.positions[j])
+        positions = self._compute_positions(system)
+        dr = system.box.minimum_image(positions[i] - positions[j])
         r2 = np.einsum("ij,ij->i", dr, dr)
         r = np.sqrt(r2)
         ratio2 = r2 / (self.r0 * self.r0)
@@ -119,8 +131,10 @@ class FENEBond(BondedForce):
         fvec = f_over_r[:, None] * dr
         np.add.at(system.forces, i, fvec)
         np.subtract.at(system.forces, j, fvec)
-        virial = float(np.sum(f_over_r * r2))
-        return ForceResult(float(np.sum(energy)), virial, len(bonds))
+        virial = float(np.sum(f_over_r * r2, dtype=np.float64))
+        return ForceResult(
+            float(np.sum(energy, dtype=np.float64)), virial, len(bonds)
+        )
 
 
 class HarmonicAngle(BondedForce):
@@ -143,19 +157,23 @@ class HarmonicAngle(BondedForce):
             return ForceResult()
         ai, aj, ak = angles[:, 0], angles[:, 1], angles[:, 2]
         types = system.topology.angle_types
-        k = self.k[np.minimum(types, len(self.k) - 1)]
-        theta0 = self.theta0[np.minimum(types, len(self.theta0) - 1)]
+        ct = self.policy.compute_dtype
+        k = self.k.astype(ct, copy=False)[np.minimum(types, len(self.k) - 1)]
+        theta0 = self.theta0.astype(ct, copy=False)[
+            np.minimum(types, len(self.theta0) - 1)
+        ]
 
         box = system.box
-        r_ij = box.minimum_image(system.positions[ai] - system.positions[aj])
-        r_kj = box.minimum_image(system.positions[ak] - system.positions[aj])
+        positions = self._compute_positions(system)
+        r_ij = box.minimum_image(positions[ai] - positions[aj])
+        r_kj = box.minimum_image(positions[ak] - positions[aj])
         len_ij = np.linalg.norm(r_ij, axis=1)
         len_kj = np.linalg.norm(r_kj, axis=1)
         cos_theta = np.einsum("ij,ij->i", r_ij, r_kj) / (len_ij * len_kj)
         cos_theta = np.clip(cos_theta, -1.0, 1.0)
         theta = np.arccos(cos_theta)
         diff = theta - theta0
-        energy = float(np.sum(k * diff * diff))
+        energy = float(np.sum(k * diff * diff, dtype=np.float64))
 
         # dE/dtheta = 2 k (theta - theta0); chain rule through cos(theta).
         sin_theta = np.sqrt(np.maximum(1.0 - cos_theta * cos_theta, 1e-12))
@@ -174,8 +192,8 @@ class HarmonicAngle(BondedForce):
         np.subtract.at(system.forces, aj, f_i + f_k)
         # Angle virial: sum of r . f over the two arms.
         virial = float(
-            np.sum(np.einsum("ij,ij->i", r_ij, f_i))
-            + np.sum(np.einsum("ij,ij->i", r_kj, f_k))
+            np.sum(np.einsum("ij,ij->i", r_ij, f_i), dtype=np.float64)
+            + np.sum(np.einsum("ij,ij->i", r_kj, f_k), dtype=np.float64)
         )
         return ForceResult(energy, virial, len(angles))
 
@@ -223,9 +241,10 @@ class CosineDihedral(BondedForce):
     def _bond_vectors(self, system: AtomSystem):
         d = self.dihedrals
         box = system.box
-        b1 = box.minimum_image(system.positions[d[:, 1]] - system.positions[d[:, 0]])
-        b2 = box.minimum_image(system.positions[d[:, 2]] - system.positions[d[:, 1]])
-        b3 = box.minimum_image(system.positions[d[:, 3]] - system.positions[d[:, 2]])
+        positions = self._compute_positions(system)
+        b1 = box.minimum_image(positions[d[:, 1]] - positions[d[:, 0]])
+        b2 = box.minimum_image(positions[d[:, 2]] - positions[d[:, 1]])
+        b3 = box.minimum_image(positions[d[:, 3]] - positions[d[:, 2]])
         return b1, b2, b3
 
     def compute(self, system: AtomSystem) -> ForceResult:
@@ -234,7 +253,12 @@ class CosineDihedral(BondedForce):
         d = self.dihedrals
         b1, b2, b3 = self._bond_vectors(system)
         phi = self.dihedral_angles(system)
-        energy = float(np.sum(self.k * (1.0 + np.cos(self.multiplicity * phi - self.phase))))
+        energy = float(
+            np.sum(
+                self.k * (1.0 + np.cos(self.multiplicity * phi - self.phase)),
+                dtype=np.float64,
+            )
+        )
         # dE/dphi, then the textbook gradient through the plane normals
         # (Blondel & Karplus form, singularity-free).
         de_dphi = -self.k * self.multiplicity * np.sin(

@@ -17,6 +17,20 @@ import numpy as np
 __all__ = ["Box"]
 
 
+def _as_floating(values: np.ndarray) -> np.ndarray:
+    """Pass float32/float64 arrays through; promote anything else to f64.
+
+    The box preserves the caller's floating dtype so a SINGLE-precision
+    engine's geometry (wrapping, minimum image) runs entirely in
+    float32 — at float64 every operation below is bitwise-identical to
+    the historical always-f64 arithmetic.
+    """
+    values = np.asarray(values)
+    if values.dtype == np.float32 or values.dtype == np.float64:
+        return values
+    return values.astype(np.float64)
+
+
 @dataclass
 class Box:
     """An axis-aligned orthogonal simulation box.
@@ -76,10 +90,12 @@ class Box:
         pass through unchanged (boundary enforcement for those is the
         job of wall fixes).
         """
-        positions = np.asarray(positions, dtype=float)
-        rel = positions - self.origin
-        wrapped = rel - np.floor(rel / self.lengths) * self.lengths
-        out = np.where(self.periodic, wrapped, rel) + self.origin
+        positions = _as_floating(positions)
+        lengths = self.lengths.astype(positions.dtype, copy=False)
+        origin = self.origin.astype(positions.dtype, copy=False)
+        rel = positions - origin
+        wrapped = rel - np.floor(rel / lengths) * lengths
+        out = np.where(self.periodic, wrapped, rel) + origin
         return out
 
     def wrap_with_images(
@@ -91,11 +107,13 @@ class Box:
         each dimension; LAMMPS keeps the same bookkeeping so unwrapped
         trajectories (needed e.g. for diffusion) remain reconstructable.
         """
-        positions = np.asarray(positions, dtype=float)
-        rel = positions - self.origin
-        shift = np.floor(rel / self.lengths).astype(np.int64)
+        positions = _as_floating(positions)
+        lengths = self.lengths.astype(positions.dtype, copy=False)
+        origin = self.origin.astype(positions.dtype, copy=False)
+        rel = positions - origin
+        shift = np.floor(rel / lengths).astype(np.int64)
         shift = np.where(self.periodic, shift, 0)
-        wrapped = positions - shift * self.lengths
+        wrapped = positions - (shift * lengths).astype(positions.dtype)
         return wrapped, images + shift
 
     # ------------------------------------------------------------------
@@ -109,10 +127,11 @@ class Box:
         dr:
             Array of displacement vectors with trailing dimension 3.
         """
-        dr = np.asarray(dr, dtype=float)
-        shift = np.round(dr / self.lengths)
-        shift = np.where(self.periodic, shift, 0.0)
-        return dr - shift * self.lengths
+        dr = _as_floating(dr)
+        lengths = self.lengths.astype(dr.dtype, copy=False)
+        shift = np.round(dr / lengths)
+        shift = np.where(self.periodic, shift, dr.dtype.type(0.0))
+        return dr - shift * lengths
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Minimum-image distances between position arrays ``a`` and ``b``."""

@@ -82,14 +82,30 @@ class ShakeConstraints:
         d2 = self.distances**2
         inv_mi = 1.0 / system.masses[i]
         inv_mj = 1.0 / system.masses[j]
-        ref_dr = box.minimum_image(reference_positions[i] - reference_positions[j])
+        # The projection iterates to a relative tolerance (1e-8 by
+        # default) that float32 state cannot represent, so narrow
+        # storage modes solve on float64 working copies and round once
+        # at write-back — the same "constraints stay in double" split
+        # the reference CPU package makes.
+        upcast = system.positions.dtype != np.float64
+        positions = (
+            system.positions.astype(np.float64) if upcast else system.positions
+        )
+        velocities = (
+            system.velocities.astype(np.float64) if upcast else system.velocities
+        )
+        reference = np.asarray(reference_positions, dtype=np.float64)
+        ref_dr = box.minimum_image(reference[i] - reference[j])
 
         for iteration in range(1, self.max_iterations + 1):
-            dr = box.minimum_image(system.positions[i] - system.positions[j])
+            dr = box.minimum_image(positions[i] - positions[j])
             r2 = np.einsum("ij,ij->i", dr, dr)
             diff = r2 - d2
             if np.all(np.abs(diff) <= self.tolerance * d2):
                 self.last_iterations = iteration - 1
+                if upcast:
+                    system.positions[...] = positions
+                    system.velocities[...] = velocities
                 return
             # First-order Lagrange multiplier along the reference bond.
             denom = 2.0 * (inv_mi + inv_mj) * np.einsum("ij,ij->i", ref_dr, dr)
@@ -97,11 +113,11 @@ class ShakeConstraints:
             safe = np.where(np.abs(denom) > 1e-12, denom, np.sign(denom) * 1e-12 + 1e-12)
             g = diff / safe
             corr = g[:, None] * ref_dr
-            np.add.at(system.positions, i, -inv_mi[:, None] * corr)
-            np.add.at(system.positions, j, inv_mj[:, None] * corr)
+            np.add.at(positions, i, -inv_mi[:, None] * corr)
+            np.add.at(positions, j, inv_mj[:, None] * corr)
             if dt > 0:
-                np.add.at(system.velocities, i, -inv_mi[:, None] * corr / dt)
-                np.add.at(system.velocities, j, inv_mj[:, None] * corr / dt)
+                np.add.at(velocities, i, -inv_mi[:, None] * corr / dt)
+                np.add.at(velocities, j, inv_mj[:, None] * corr / dt)
         raise RuntimeError(
             f"SHAKE failed to converge in {self.max_iterations} iterations"
         )
@@ -113,20 +129,28 @@ class ShakeConstraints:
         box = system.box
         inv_mi = 1.0 / system.masses[i]
         inv_mj = 1.0 / system.masses[j]
+        # Same float64 working-copy treatment as apply_positions.
+        upcast = system.velocities.dtype != np.float64
+        positions = np.asarray(system.positions, dtype=np.float64)
+        velocities = (
+            system.velocities.astype(np.float64) if upcast else system.velocities
+        )
         for iteration in range(1, self.max_iterations + 1):
-            dr = box.minimum_image(system.positions[i] - system.positions[j])
+            dr = box.minimum_image(positions[i] - positions[j])
             r2 = np.einsum("ij,ij->i", dr, dr)
-            dv = system.velocities[i] - system.velocities[j]
+            dv = velocities[i] - velocities[j]
             rv = np.einsum("ij,ij->i", dr, dv)
             # Converged when the radial relative velocity (units 1/time,
             # normalized by r^2) is below tolerance.
             if np.all(np.abs(rv) <= self.tolerance * r2):
                 self.last_iterations = iteration - 1
+                if upcast:
+                    system.velocities[...] = velocities
                 return
             k = rv / (r2 * (inv_mi + inv_mj))
             corr = k[:, None] * dr
-            np.add.at(system.velocities, i, -inv_mi[:, None] * corr)
-            np.add.at(system.velocities, j, inv_mj[:, None] * corr)
+            np.add.at(velocities, i, -inv_mi[:, None] * corr)
+            np.add.at(velocities, j, inv_mj[:, None] * corr)
         raise RuntimeError(
             f"RATTLE failed to converge in {self.max_iterations} iterations"
         )

@@ -25,6 +25,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.md.precision import DOUBLE_POLICY, PrecisionPolicy
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.md.atoms import AtomSystem
     from repro.md.neighbor import NeighborList
@@ -37,6 +39,16 @@ class KernelBackend(abc.ABC):
 
     #: Registry key (``numpy_ref``, ``numpy_fast``, ...).
     name: str = "abstract"
+
+    #: Precision policy the backend evaluates under, installed through
+    #: :meth:`set_policy` by the simulation (or a parallel worker).
+    #: Backends are free to ignore it — ``numpy_ref`` does, staying a
+    #: pure float64 oracle in every mode.
+    policy: PrecisionPolicy = DOUBLE_POLICY
+
+    def set_policy(self, policy: PrecisionPolicy) -> None:
+        """Install the precision policy (may invalidate scratch)."""
+        self.policy = policy
 
     @abc.abstractmethod
     def current_pairs(

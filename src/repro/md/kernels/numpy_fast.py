@@ -28,12 +28,22 @@ from __future__ import annotations
 import numpy as np
 
 from repro.md.kernels.base import KernelBackend
+from repro.md.precision import PrecisionPolicy
 
 __all__ = ["NumpyFastBackend"]
 
 
 class NumpyFastBackend(KernelBackend):
-    """CSR-aware backend using ``np.bincount`` segmented reduction."""
+    """CSR-aware backend using ``np.bincount`` segmented reduction.
+
+    Honors the installed :class:`~repro.md.precision.PrecisionPolicy`:
+    pair geometry (minimum image, distances, cutoff compare) runs in
+    the storage dtype, per-pair terms are handed out in the compute
+    dtype, and accumulation follows the accumulate dtype — under MIXED
+    the float32 per-pair weights land in the float64 force array
+    through ``np.bincount``, whose internal accumulator is always
+    float64.
+    """
 
     name = "numpy_fast"
 
@@ -43,14 +53,21 @@ class NumpyFastBackend(KernelBackend):
         self._tmp = np.empty((0, 3))
         self._r2 = np.empty(0)
 
+    def set_policy(self, policy: PrecisionPolicy) -> None:
+        if policy.storage_dtype != self.policy.storage_dtype:
+            # Scratch is typed per geometry (storage) dtype; drop it.
+            self._capacity = 0
+        self.policy = policy
+
     # ------------------------------------------------------------------
     def _scratch(self, m: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Grow-only scratch views of length ``m`` (amortized O(1))."""
         if m > self._capacity:
             capacity = max(m, int(1.5 * self._capacity), 1024)
-            self._dr = np.empty((capacity, 3))
-            self._tmp = np.empty((capacity, 3))
-            self._r2 = np.empty(capacity)
+            dtype = self.policy.storage_dtype
+            self._dr = np.empty((capacity, 3), dtype=dtype)
+            self._tmp = np.empty((capacity, 3), dtype=dtype)
+            self._r2 = np.empty(capacity, dtype=dtype)
             self._capacity = capacity
         return self._dr[:m], self._tmp[:m], self._r2[:m]
 
@@ -61,12 +78,24 @@ class NumpyFastBackend(KernelBackend):
         rc = neighbors.cutoff if cutoff is None else float(cutoff)
         pair_i, pair_j = neighbors.pair_i, neighbors.pair_j
         m = len(pair_i)
+        compute_dtype = self.policy.compute_dtype
         if m == 0:
             empty = np.empty(0, dtype=np.int64)
-            return empty, empty, np.empty((0, 3)), np.empty(0)
+            return empty, empty, np.empty((0, 3), dtype=compute_dtype), np.empty(
+                0, dtype=compute_dtype
+            )
 
-        positions = system.positions
+        # Geometry — the minimum image, squared distance and cutoff
+        # compare — runs in the *storage* dtype: under MIXED the pair
+        # set is decided in float64 and therefore matches the float64
+        # oracle exactly (no cutoff-boundary flips); only the surviving
+        # per-pair dr/r are rounded to the compute dtype for the
+        # potential math.  SINGLE stores float32, so its whole hot loop
+        # (gather included) runs at half the memory traffic.
+        geometry_dtype = self.policy.storage_dtype
+        positions = system.positions.astype(geometry_dtype, copy=False)
         box = system.box
+        lengths = box.lengths.astype(geometry_dtype, copy=False)
         dr, tmp, r2 = self._scratch(m)
         # dr = x_i - x_j, gathered without temporary index arrays.
         # mode="clip" skips np.take's bounds-check buffering; indices come
@@ -76,18 +105,23 @@ class NumpyFastBackend(KernelBackend):
         np.subtract(dr, tmp, out=dr)
         # In-place minimum image: same operation sequence as
         # Box.minimum_image (round-half-even), so results match bitwise.
-        np.divide(dr, box.lengths, out=tmp)
+        np.divide(dr, lengths, out=tmp)
         np.rint(tmp, out=tmp)
         if not box.periodic.all():
             tmp[:, ~box.periodic] = 0.0
-        np.multiply(tmp, box.lengths, out=tmp)
+        np.multiply(tmp, lengths, out=tmp)
         np.subtract(dr, tmp, out=dr)
 
         np.einsum("ij,ij->i", dr, dr, out=r2)
         keep = np.flatnonzero(r2 < rc * rc)
         # The compressed outputs are fresh arrays: the scratch above is
         # reused on the next call and must not leak out.
-        return pair_i[keep], pair_j[keep], dr[keep], np.sqrt(r2[keep])
+        dr_out = dr[keep]
+        r_out = np.sqrt(r2[keep])
+        if geometry_dtype != compute_dtype:
+            dr_out = dr_out.astype(compute_dtype)
+            r_out = r_out.astype(compute_dtype)
+        return pair_i[keep], pair_j[keep], dr_out, r_out
 
     # ------------------------------------------------------------------
     def scatter_add(self, out, index, values):
@@ -104,6 +138,12 @@ class NumpyFastBackend(KernelBackend):
         if m == 0:
             return
         values = np.asarray(values)
+        if values.dtype != out.dtype:
+            # reduceat accumulates in the *values* dtype; under MIXED
+            # (f32 values, f64 output) that would defeat the float64
+            # accumulation guarantee — bincount accumulates f64 always.
+            self.scatter_add(out, index, values)
+            return
         # Segment boundaries of the contiguous index runs; reduceat sums
         # each run sequentially (input order), matching bincount bitwise.
         boundaries = np.flatnonzero(index[1:] != index[:-1]) + 1
@@ -128,7 +168,11 @@ class NumpyFastBackend(KernelBackend):
             return
         n = forces.shape[0]
         w = self._scratch(m)[2]
-        if not (i[1:] < i[:-1]).any():
+        if w.dtype != f_over_r.dtype:
+            # A caller handing f64 per-pair terms to an f32-compute
+            # backend (or vice versa): do the multiply out of scratch.
+            w = np.empty(m, dtype=np.result_type(f_over_r, dr))
+        if w.dtype == forces.dtype and not (i[1:] < i[:-1]).any():
             # CSR order (i non-decreasing, the list's native layout): the
             # i-side scatter collapses to a segmented reduction over
             # contiguous runs, cheaper than a second bincount.

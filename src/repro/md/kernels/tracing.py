@@ -27,6 +27,13 @@ class TracingBackend(KernelBackend):
         self.tracer = tracer
         self.name = f"{inner.name}+trace"
 
+    @property
+    def policy(self):
+        return self.inner.policy
+
+    def set_policy(self, policy) -> None:
+        self.inner.set_policy(policy)
+
     def current_pairs(self, system, neighbors, cutoff=None):
         with self.tracer.span("kernel.current_pairs", "kernel"):
             return self.inner.current_pairs(system, neighbors, cutoff)

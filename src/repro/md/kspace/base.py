@@ -20,11 +20,13 @@ from scipy.special import erf
 
 from repro.md.atoms import AtomSystem
 from repro.md.potentials.base import ForceResult
+from repro.md.precision import DOUBLE_POLICY, PrecisionPolicy
 from repro.observability.tracer import NULL_TRACER
 
 __all__ = ["KSpaceSolver"]
 
-_TWO_OVER_SQRT_PI = 2.0 / np.sqrt(np.pi)
+# Python float so float32 compute paths are not promoted under NEP 50.
+_TWO_OVER_SQRT_PI = float(2.0 / np.sqrt(np.pi))
 
 
 class KSpaceSolver(abc.ABC):
@@ -60,6 +62,9 @@ class KSpaceSolver(abc.ABC):
         #: Span sink for solver phases; the shared no-op unless the
         #: owning :class:`~repro.md.simulation.Simulation` attaches one.
         self.tracer = NULL_TRACER
+        #: Precision policy the solver evaluates under (installed by the
+        #: owning Simulation; full float64 by default).
+        self.policy: PrecisionPolicy = DOUBLE_POLICY
 
     # ------------------------------------------------------------------
     def check_neutrality(self, system: AtomSystem, tol: float = 1e-8) -> None:
@@ -84,10 +89,13 @@ class KSpaceSolver(abc.ABC):
             return ForceResult()
         i = self.exclusions[:, 0]
         j = self.exclusions[:, 1]
-        dr = system.box.minimum_image(system.positions[i] - system.positions[j])
+        ct = self.policy.compute_dtype
+        positions = system.positions.astype(ct, copy=False)
+        charges = system.charges.astype(ct, copy=False)
+        dr = system.box.minimum_image(positions[i] - positions[j])
         r2 = np.einsum("ij,ij->i", dr, dr)
         r = np.sqrt(r2)
-        qq = self.coulomb_constant * system.charges[i] * system.charges[j]
+        qq = self.coulomb_constant * charges[i] * charges[j]
         ar = self.alpha * r
         erf_ar = erf(ar)
         energy = -qq * erf_ar / r
@@ -98,8 +106,10 @@ class KSpaceSolver(abc.ABC):
         fvec = f_over_r[:, None] * dr
         np.add.at(system.forces, i, fvec)
         np.subtract.at(system.forces, j, fvec)
-        virial = float(np.sum(f_over_r * r2))
-        return ForceResult(float(np.sum(energy)), virial, len(i))
+        virial = float(np.sum(f_over_r * r2, dtype=np.float64))
+        return ForceResult(
+            float(np.sum(energy, dtype=np.float64)), virial, len(i)
+        )
 
     # ------------------------------------------------------------------
     @abc.abstractmethod

@@ -96,27 +96,33 @@ class EwaldSummation(KSpaceSolver):
         box_lengths = system.box.lengths
         if self._kvecs is None or not np.allclose(self._box_lengths, box_lengths):
             self._setup_kvectors(box_lengths)
-        kvecs = self._kvecs
-        assert kvecs is not None
-        if len(kvecs) == 0:
+        assert self._kvecs is not None
+        if len(self._kvecs) == 0:
             return ForceResult(self.self_energy(system), 0.0, 0)
 
         tracer = self.tracer
         volume = system.box.volume
+        # The k-shell is enumerated and cached in float64; every per-step
+        # array below runs in the policy's compute dtype.
+        ct = self.policy.compute_dtype
+        kvecs = self._kvecs.astype(ct, copy=False)
         k2 = np.einsum("ij,ij->i", kvecs, kvecs)
         gauss = np.exp(-k2 / (4.0 * self.alpha**2)) / k2
 
         with tracer.span("kspace.structure_factor", "kspace"):
-            phases = system.positions @ kvecs.T  # (N, K)
+            phases = system.positions.astype(ct, copy=False) @ kvecs.T  # (N, K)
             cos_p = np.cos(phases)
             sin_p = np.sin(phases)
-            q = system.charges
+            q = system.charges.astype(ct, copy=False)
             re_s = q @ cos_p  # (K,)
             im_s = q @ sin_p
 
         prefactor = 4.0 * math.pi * self.coulomb_constant / volume
         # Half-space sum: each k stands for the +/- pair, hence factor 2.
-        energy = float(np.sum(gauss * (re_s**2 + im_s**2))) * prefactor / 2.0 * 2.0
+        energy = (
+            float(np.sum(gauss * (re_s**2 + im_s**2), dtype=np.float64))
+            * prefactor / 2.0 * 2.0
+        )
 
         # F_j = 2 * prefactor * q_j sum_k (k/k^2) e^{-k^2/4a^2}
         #       [sin(k.r_j) Re S - cos(k.r_j) Im S]
@@ -133,7 +139,8 @@ class EwaldSummation(KSpaceSolver):
         trace = gauss * (re_s**2 + im_s**2) * (
             3.0 - k2 * (2.0 / (4.0 * self.alpha**2) + 2.0 / k2)
         )
-        virial = float(np.sum(trace)) * prefactor / 3.0 * 3.0  # sum of diagonal
+        # sum of diagonal
+        virial = float(np.sum(trace, dtype=np.float64)) * prefactor / 3.0 * 3.0
         # (kept simple: an isotropic estimate; see tests for validation
         # against the energy-volume derivative.)
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 
 import numpy as np
+from scipy import fft as _scipy_fft
 
 from repro.md.atoms import AtomSystem
 from repro.md.kspace.base import KSpaceSolver
@@ -49,21 +50,25 @@ def bspline_weights(frac: np.ndarray, order: int) -> tuple[np.ndarray, np.ndarra
         and ``weights`` the matching B-spline weights; each row sums to 1
         by the partition-of-unity property (tested).
     """
-    frac = np.asarray(frac, dtype=float)
+    frac = np.asarray(frac)
+    if frac.dtype not in (np.float32, np.float64):
+        frac = frac.astype(np.float64)
     p = int(order)
     # The p nearest nodes are the integers in (g - p/2, g + p/2).
     n0 = np.floor(frac - 0.5 * p).astype(np.int64) + 1
     offsets = np.arange(p)
     nodes = n0[:, None] + offsets[None, :]
     # Weight of node n is M_p evaluated at (g - n + p/2).
-    x = frac[:, None] - nodes + 0.5 * p
+    x = (frac[:, None] - nodes + 0.5 * p).astype(frac.dtype)
     # Iterative evaluation of the cardinal B-spline via its recurrence:
     # M_1 = indicator([0,1)); M_k(x) = (x M_{k-1}(x) + (k-x) M_{k-1}(x-1))/(k-1).
     # We track M_{k-1} at the p stencil abscissae; evaluating at x-1 is a
     # plain re-evaluation since abscissae differ per node.
     def m_k(xv: np.ndarray, k: int) -> np.ndarray:
         if k == 1:
-            return np.where((xv >= 0.0) & (xv < 1.0), 1.0, 0.0)
+            # astype (not np.where with python-float branches) keeps the
+            # indicator in the input dtype.
+            return ((xv >= 0.0) & (xv < 1.0)).astype(xv.dtype)
         return (xv * m_k(xv, k - 1) + (k - xv) * m_k(xv - 1.0, k - 1)) / (k - 1)
 
     weights = m_k(x, p)
@@ -188,18 +193,22 @@ class PPPM(KSpaceSolver):
     ) -> tuple[np.ndarray, list[np.ndarray], list[np.ndarray]]:
         """Spread charges onto the mesh; returns grid + per-dim stencils."""
         assert self.grid is not None
+        ct = self.policy.compute_dtype
         dims = np.array(self.grid)
-        frac = (
-            (system.positions - system.box.origin) / system.box.lengths * dims
-        )
+        positions = system.positions.astype(ct, copy=False)
+        origin = system.box.origin.astype(ct, copy=False)
+        lengths = system.box.lengths.astype(ct, copy=False)
+        frac = (positions - origin) / lengths * dims.astype(ct)
         nodes_list = []
         weights_list = []
         for d in range(3):
             nodes, weights = bspline_weights(frac[:, d], self.order)
             nodes_list.append(np.mod(nodes, dims[d]))
             weights_list.append(weights)
-        rho = np.zeros(self.grid)
-        q = system.charges
+        # Spread into the accumulate dtype: np.add.at promotes each f32
+        # addend into the f64 mesh, giving MIXED its f64 accumulation.
+        rho = np.zeros(self.grid, dtype=self.policy.accumulate_dtype)
+        q = system.charges.astype(ct, copy=False)
         p = self.order
         for a in range(p):
             wa = weights_list[0][:, a]
@@ -218,19 +227,33 @@ class PPPM(KSpaceSolver):
         assert self._green is not None and self._kcomp is not None
         tracer = self.tracer
 
+        # Mesh tables are cached in float64; cast to the compute dtype at
+        # use.  float32 goes through scipy.fft (dtype-preserving,
+        # complex64 transforms); float64 keeps np.fft so the DOUBLE path
+        # stays bit-for-bit what it was.
+        ct = self.policy.compute_dtype
+        fftn = _scipy_fft.fftn if ct == np.float32 else np.fft.fftn
+        ifftn = _scipy_fft.ifftn if ct == np.float32 else np.fft.ifftn
+
         with tracer.span("kspace.assign", "kspace"):
             rho, nodes_list, weights_list = self._assign_charges(system)
         with tracer.span("kspace.fft_forward", "kspace"):
-            rho_hat = np.fft.fftn(rho)
+            rho_hat = fftn(rho.astype(ct, copy=False))
 
         # Energy: (1/2) sum_k G(k) |rho_hat|^2  (G folds 4 pi C / V k^2).
-        green = self._green
-        energy = 0.5 * float(np.sum(green * np.abs(rho_hat) ** 2))
+        green = self._green.astype(ct, copy=False)
+        kcomp = [kc.astype(ct, copy=False) for kc in self._kcomp]
+        energy = 0.5 * float(
+            np.sum(green * np.abs(rho_hat) ** 2, dtype=np.float64)
+        )
 
         # Virial trace (isotropic): sum_k E_k (1 - k^2 / 2 alpha^2).
-        k2 = self._kcomp[0] ** 2 + self._kcomp[1] ** 2 + self._kcomp[2] ** 2
+        k2 = kcomp[0] ** 2 + kcomp[1] ** 2 + kcomp[2] ** 2
         virial = 0.5 * float(
-            np.sum(green * np.abs(rho_hat) ** 2 * (1.0 - k2 / (2.0 * self.alpha**2)))
+            np.sum(
+                green * np.abs(rho_hat) ** 2 * (1.0 - k2 / (2.0 * self.alpha**2)),
+                dtype=np.float64,
+            )
         )
 
         # Fields by ik differentiation: E_c = -ifft(i k_c G rho_hat).
@@ -238,14 +261,14 @@ class PPPM(KSpaceSolver):
         n_total = self.grid_points
         fields = []
         with tracer.span("kspace.fft_inverse", "kspace"):
-            for kc in self._kcomp:
-                field = -np.real(np.fft.ifftn(1j * kc * phi_hat)) * n_total
+            for kc in kcomp:
+                field = -np.real(ifftn(1j * kc * phi_hat)) * n_total
                 fields.append(field)
 
         # Interpolate fields back to particles with the same stencil.
         p = self.order
         n_atoms = system.n_atoms
-        efield = np.zeros((n_atoms, 3))
+        efield = np.zeros((n_atoms, 3), dtype=ct)
         with tracer.span("kspace.interpolate", "kspace"):
             for a in range(p):
                 wa = weights_list[0][:, a]
@@ -258,7 +281,7 @@ class PPPM(KSpaceSolver):
                         idx = (na, nb, nodes_list[2][:, c])
                         for comp in range(3):
                             efield[:, comp] += w * fields[comp][idx]
-            system.forces += system.charges[:, None] * efield
+            system.forces += system.charges.astype(ct, copy=False)[:, None] * efield
 
         result = ForceResult(
             energy + self.self_energy(system), virial, self.grid_points

@@ -130,7 +130,11 @@ def cell_list_half_pairs(
     working set is one offset's candidates (~1/14th of the full
     candidate population) and only surviving pairs are ever copied.
     """
-    positions = np.asarray(positions, dtype=float)
+    # Distance checks run in the caller's storage dtype (float32 under
+    # the SINGLE precision policy); integer binning below is dtype-safe.
+    positions = np.asarray(positions)
+    if positions.dtype != np.float32:
+        positions = positions.astype(np.float64, copy=False)
     n = len(positions)
     rc2 = rc * rc
     n_cells = np.maximum(np.floor(box.lengths / rc).astype(int), 1)
@@ -237,7 +241,9 @@ def subdomain_directed_pairs(
     this).  The surviving rows are bitwise identical to the matching
     prefix of the unrestricted list.
     """
-    positions = np.asarray(positions, dtype=float)
+    positions = np.asarray(positions)
+    if positions.dtype != np.float32:
+        positions = positions.astype(np.float64, copy=False)
     n = len(positions)
     empty = np.empty(0, dtype=np.int64)
     if n < 2:

@@ -156,9 +156,24 @@ class AnalyticPairPotential(PairPotential):
         r2 = r * r
         type_i = system.types[i] if self.needs_types else None
         type_j = system.types[j] if self.needs_types else None
-        q_i = system.charges[i] if self.needs_charges else None
-        q_j = system.charges[j] if self.needs_charges else None
+        # Static charges stay float64 in storage; the per-pair gathers
+        # are cast to the geometry's (compute) dtype so reduced-precision
+        # modes never silently promote back to f64 mid-formula.
+        q_i = (
+            system.charges[i].astype(dr.dtype, copy=False)
+            if self.needs_charges
+            else None
+        )
+        q_j = (
+            system.charges[j].astype(dr.dtype, copy=False)
+            if self.needs_charges
+            else None
+        )
         energy, f_over_r = self.pair_terms(r, r2, type_i, type_j, q_i, q_j)
         kernel.accumulate_scaled_pair_forces(system.forces, i, j, dr, f_over_r)
-        virial = float(np.sum(f_over_r * r2))
-        return ForceResult(float(np.sum(energy)), virial, len(i))
+        # Scalar totals always reduce in float64 (identical to the
+        # historical behavior at f64; an exact O(M) upcast otherwise).
+        virial = float(np.sum(f_over_r * r2, dtype=np.float64))
+        return ForceResult(
+            float(np.sum(energy, dtype=np.float64)), virial, len(i)
+        )

@@ -18,7 +18,9 @@ from repro.md.potentials.mixing import build_mixed_tables
 
 __all__ = ["CharmmCoulLong", "charmm_switch"]
 
-_TWO_OVER_SQRT_PI = 2.0 / np.sqrt(np.pi)
+# A python float (not a np.float64 scalar) so NEP-50 promotion keeps
+# float32 pair math in float32.
+_TWO_OVER_SQRT_PI = float(2.0 / np.sqrt(np.pi))
 
 
 def charmm_switch(
@@ -34,7 +36,9 @@ def charmm_switch(
     ri2 = r_inner * r_inner
     ro2 = r_outer * r_outer
     denom = (ro2 - ri2) ** 3
-    r2 = np.asarray(r2, dtype=float)
+    r2 = np.asarray(r2)
+    if r2.dtype not in (np.float32, np.float64):
+        r2 = r2.astype(np.float64)
     d2 = ro2 - r2
     s = d2 * d2 * (ro2 + 2.0 * r2 - 3.0 * ri2) / denom
     r = np.sqrt(r2)
@@ -100,11 +104,13 @@ class CharmmCoulLong(AnalyticPairPotential):
 
     def pair_terms(self, r, r2, type_i, type_j, q_i, q_j):
         if self.needs_types:
-            eps = self.eps_table[type_i, type_j]
-            sigma = self.sigma_table[type_i, type_j]
+            # Cast the tiny mixing tables so the gathers (and the whole
+            # formula) stay in the compute dtype.
+            eps = self.eps_table.astype(r2.dtype, copy=False)[type_i, type_j]
+            sigma = self.sigma_table.astype(r2.dtype, copy=False)[type_i, type_j]
         else:
-            eps = self.eps_table[0, 0]
-            sigma = self.sigma_table[0, 0]
+            eps = float(self.eps_table[0, 0])
+            sigma = float(self.sigma_table[0, 0])
         inv_r2 = 1.0 / r2
         sr2 = sigma * sigma * inv_r2
         sr6 = sr2 * sr2 * sr2

@@ -116,7 +116,13 @@ class EAMAlloy(PairPotential):
         (cohesive) around ``rho_e`` with a minimum exactly at ``rho_e``.
         """
         p = self.params
-        rho = np.maximum(np.asarray(rho, dtype=float), 1e-300)
+        rho = np.asarray(rho)
+        if rho.dtype not in (np.float32, np.float64):
+            rho = rho.astype(np.float64)
+        # Dtype-aware underflow floor: 1e-300 flushes to 0 in float32,
+        # which would let rho = 0 reach the log below.
+        floor = float(np.finfo(rho.dtype).tiny) if rho.dtype == np.float32 else 1e-300
+        rho = np.maximum(rho, floor)
         x = rho / p.rho_e
         log_x = np.log(x)
         xn = x**p.n_exp
@@ -134,21 +140,25 @@ class EAMAlloy(PairPotential):
             # functional form, so only the (empty) pair sum remains.
             return ForceResult()
 
-        # Pass 1: densities and embedding.
+        # Pass 1: densities and embedding.  Densities accumulate in the
+        # policy's accumulate dtype (float64 under MIXED).
         f_r, df_r = self.density_function(r)
-        rho = np.zeros(n)
+        rho = np.zeros(n, dtype=kernel.policy.accumulate_dtype)
         kernel.scatter_add(rho, i, f_r)
         kernel.scatter_add(rho, j, f_r)
         F_rho, Fp_rho = self.embedding_function(rho)
-        embed_energy = float(np.sum(F_rho))
+        embed_energy = float(np.sum(F_rho, dtype=np.float64))
 
-        # Pass 2: pair repulsion plus density-mediated forces.
+        # Pass 2: pair repulsion plus density-mediated forces; the
+        # embedding slopes are cast back to the compute dtype so the
+        # per-pair force stays in it.
         phi, dphi = self.pair_function(r)
-        f_over_r = -(dphi + (Fp_rho[i] + Fp_rho[j]) * df_r) / r
+        Fp = Fp_rho.astype(dr.dtype, copy=False)
+        f_over_r = -(dphi + (Fp[i] + Fp[j]) * df_r) / r
         accumulate_pair_forces(system, i, j, dr, f_over_r, backend=kernel)
 
-        pair_energy = float(np.sum(phi))
-        virial = float(np.sum(f_over_r * r * r))
+        pair_energy = float(np.sum(phi, dtype=np.float64))
+        virial = float(np.sum(f_over_r * r * r, dtype=np.float64))
         return ForceResult(embed_energy + pair_energy, virial, len(i))
 
     # -- analysis helpers ----------------------------------------------------

@@ -199,17 +199,26 @@ class HookeHistory(PairPotential):
         if len(i) == 0:
             return ForceResult(0.0, 0.0, interactions)
 
+        # Per-pair gathers follow the geometry's (compute) dtype; the
+        # tangential history deliberately stays float64 — it is restart
+        # state, and the f32 -> f64 promotion where it enters the math
+        # keeps its round-trip exact in every mode.
+        ct = dr.dtype
         f_total, torque, xi, pair_energy, pair_virial = self.contact_terms(
             dr,
             r,
-            radii[i],
-            radii[j],
-            system.masses[i],
-            system.masses[j],
-            system.velocities[i],
-            system.velocities[j],
-            system.omega[i] if system.omega is not None else None,
-            system.omega[j] if system.omega is not None else None,
+            radii[i].astype(ct, copy=False),
+            radii[j].astype(ct, copy=False),
+            system.masses[i].astype(ct, copy=False),
+            system.masses[j].astype(ct, copy=False),
+            system.velocities[i].astype(ct, copy=False),
+            system.velocities[j].astype(ct, copy=False),
+            system.omega[i].astype(ct, copy=False)
+            if system.omega is not None
+            else None,
+            system.omega[j].astype(ct, copy=False)
+            if system.omega is not None
+            else None,
             xi,
         )
         self.history.store(xi)
@@ -221,8 +230,8 @@ class HookeHistory(PairPotential):
             kernel.scatter_add(system.torques, i, -radii[i][:, None] * torque)
             kernel.scatter_add(system.torques, j, -radii[j][:, None] * torque)
 
-        energy = float(np.sum(pair_energy))
-        virial = float(np.sum(pair_virial))
+        energy = float(np.sum(pair_energy, dtype=np.float64))
+        virial = float(np.sum(pair_virial, dtype=np.float64))
         return ForceResult(energy, virial, interactions)
 
     @property

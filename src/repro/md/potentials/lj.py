@@ -72,14 +72,19 @@ class LennardJonesCut(AnalyticPairPotential):
         self.needs_types = self.eps_table.size > 1
 
     def pair_terms(self, r, r2, type_i, type_j, q_i, q_j):
+        # Python-float scalars and compute-dtype gathers keep the whole
+        # formula in r2's dtype — a bare np.float64 scalar (or an f64
+        # coefficient gather) would silently promote float32 pair math
+        # back to float64 under NEP 50.
         if self.needs_types:
-            eps = self.eps_table[type_i, type_j]
-            sigma = self.sigma_table[type_i, type_j]
-            shift = self.shift_table[type_i, type_j]
+            # Cast the tiny n_types^2 tables (not the M-pair gathers).
+            eps = self.eps_table.astype(r2.dtype, copy=False)[type_i, type_j]
+            sigma = self.sigma_table.astype(r2.dtype, copy=False)[type_i, type_j]
+            shift = self.shift_table.astype(r2.dtype, copy=False)[type_i, type_j]
         else:
-            eps = self.eps_table[0, 0]
-            sigma = self.sigma_table[0, 0]
-            shift = self.shift_table[0, 0]
+            eps = float(self.eps_table[0, 0])
+            sigma = float(self.sigma_table[0, 0])
+            shift = float(self.shift_table[0, 0])
         inv_r2 = 1.0 / r2
         sr2 = sigma * sigma * inv_r2
         sr6 = sr2 * sr2 * sr2

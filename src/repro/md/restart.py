@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.md.atoms import AtomSystem, Topology
 from repro.md.box import Box
+from repro.md.precision import parse_precision
 from repro.md.simulation import Simulation
 
 __all__ = [
@@ -104,6 +105,7 @@ def _json_default(obj):
 def _dynamic_state(simulation: Simulation) -> dict:
     counts = simulation.counts
     return {
+        "precision": simulation.precision.mode.value,
         "integrator": {
             "type": type(simulation.integrator).__name__,
             "state": simulation.integrator.state_dict(),
@@ -304,7 +306,11 @@ def _rebuild_neighbors_as_at_build(
     system = simulation.system
     live_positions = system.positions
     live_lengths = system.box.lengths
-    system.positions = np.array(at_positions, dtype=float)
+    # Build-state positions keep the run's storage dtype (float32 under
+    # SINGLE), so the rebuilt pair ordering matches the original build.
+    system.positions = np.array(
+        at_positions, dtype=simulation.precision.storage_dtype
+    )
     system.box.lengths = np.array(at_lengths, dtype=float)
     try:
         simulation.force_executor.maintain_neighbors(system, force=True)
@@ -337,18 +343,26 @@ def _restore_particle_state(simulation: Simulation, system: AtomSystem) -> None:
             f"snapshot holds {system.n_atoms} atoms but the simulation has "
             f"{target.n_atoms}"
         )
+    # Same-mode restores see a no-op astype (float32 state round-trips
+    # bit for bit); an explicit ``cast=`` opt-in lands here with a real
+    # dtype conversion into the simulation's storage dtype.
+    dtype = simulation.precision.storage_dtype
     target.box.lengths = system.box.lengths.copy()
-    target.positions = system.positions
-    target.velocities = system.velocities
-    target.forces = system.forces
+    target.positions = system.positions.astype(dtype, copy=False)
+    target.velocities = system.velocities.astype(dtype, copy=False)
+    target.forces = system.forces.astype(dtype, copy=False)
     target.images = system.images
     if system.omega is not None and target.omega is not None:
-        target.omega = system.omega
-        target.torques = system.torques
+        target.omega = system.omega.astype(dtype, copy=False)
+        target.torques = system.torques.astype(dtype, copy=False)
 
 
 def restore_simulation(
-    simulation: Simulation, path: str | Path, *, allow_v1: bool = False
+    simulation: Simulation,
+    path: str | Path,
+    *,
+    allow_v1: bool = False,
+    cast: str | None = None,
 ) -> Snapshot:
     """Load a snapshot *into* an existing simulation in place.
 
@@ -358,6 +372,13 @@ def restore_simulation(
     original build inputs, after which continuing the run reproduces
     the uninterrupted trajectory bit for bit.
 
+    v2 snapshots record the precision mode they were written under
+    (older v2 files without the tag are float64).  Resuming under a
+    *different* mode silently changes the trajectory, so a mismatch is
+    refused unless ``cast=`` names the simulation's own mode as an
+    explicit opt-in — e.g. ``cast="double"`` to promote a SINGLE
+    checkpoint's float32 state into a float64 run.
+
     v1 snapshots only hold particle state.  They are rejected with a
     :class:`SnapshotError` unless ``allow_v1=True`` explicitly opts into
     the upgrade, in which case integrator/thermostat/RNG/contact state
@@ -365,6 +386,27 @@ def restore_simulation(
     behavior, exact only for plain NVE).
     """
     snapshot = load_snapshot(path)
+    saved_mode = parse_precision(
+        snapshot.state.get("precision", "double")
+        if snapshot.version != 1
+        else "double"
+    )
+    have_mode = simulation.precision.mode
+    if saved_mode != have_mode:
+        if cast is None:
+            raise SnapshotError(
+                f"snapshot {path} was written under precision "
+                f"'{saved_mode.value}' but the simulation runs "
+                f"'{have_mode.value}'; resuming across modes changes the "
+                f"trajectory — pass cast='{have_mode.value}' to convert "
+                "the checkpointed state explicitly"
+            )
+        if parse_precision(cast) != have_mode:
+            raise SnapshotError(
+                f"cast='{cast}' does not match the simulation's precision "
+                f"'{have_mode.value}'; cast names the mode the restored "
+                "state is converted *to*"
+            )
     if snapshot.version == 1:
         if not allow_v1:
             raise SnapshotError(

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import abc
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -31,6 +32,7 @@ import numpy as np
 
 from repro.md.atoms import AtomSystem
 from repro.md.bonded import BondedForce
+from repro.md.config import RunConfig
 from repro.md.constraints import ShakeConstraints
 from repro.md.fixes import Fix
 from repro.md.integrators import Integrator, NoseHooverNPT, VelocityVerletNVE
@@ -39,6 +41,7 @@ from repro.md.kspace.base import KSpaceSolver
 from repro.md.kernels.tracing import TracingBackend
 from repro.md.neighbor import NeighborList
 from repro.md.potentials.base import ForceResult, PairPotential
+from repro.md.precision import Precision, PrecisionPolicy, policy_for
 from repro.md.thermo import ThermoLog
 from repro.md.timers import TaskTimers
 from repro.observability import MetricsRegistry, resolve_tracer
@@ -49,6 +52,10 @@ __all__ = [
     "ForceExecutor",
     "SerialForceExecutor",
 ]
+
+# The legacy-kwarg deprecation shim warns once per process, not once per
+# call site, so long sweeps don't drown in repeats.
+_LEGACY_RUN_KWARGS_WARNED = False
 
 
 @dataclass
@@ -206,6 +213,16 @@ class Simulation:
         pair work across domain-decomposed worker processes.  Call
         :meth:`close` (or use the simulation as a context manager) when
         the executor holds external resources.
+    precision:
+        Floating-point mode for the whole engine — a
+        :class:`~repro.md.precision.Precision` member, a
+        case-insensitive mode name (``"single"`` / ``"mixed"`` /
+        ``"double"``), a full
+        :class:`~repro.md.precision.PrecisionPolicy`, or ``None`` for
+        the float64 default (bitwise-identical to the engine before
+        precision modes existed).  When a parallel executor was built
+        with its own mode, ``None`` adopts it and a conflicting explicit
+        mode raises.
     """
 
     def __init__(
@@ -226,20 +243,51 @@ class Simulation:
         tracer=None,
         metrics: MetricsRegistry | None = None,
         force_executor: ForceExecutor | None = None,
+        precision: "Precision | str | PrecisionPolicy | None" = None,
     ) -> None:
         self.system = system
         self.potentials = list(potentials)
         self.tracer = resolve_tracer(tracer)
         self.metrics = metrics
+        self.force_executor = (
+            force_executor if force_executor is not None else SerialForceExecutor()
+        )
+        #: Active :class:`~repro.md.precision.PrecisionPolicy` — float64
+        #: everywhere unless a mode was requested.  An executor that was
+        #: constructed with its own mode (the parallel engine types its
+        #: shared-memory buffers at start-up) is the source of truth: the
+        #: simulation adopts it when no mode was asked for here, and a
+        #: conflicting explicit mode is an error rather than a silent
+        #: mismatch between master state and worker buffers.
+        executor_policy = getattr(self.force_executor, "precision", None)
+        if precision is None and isinstance(executor_policy, PrecisionPolicy):
+            self.precision = executor_policy
+        else:
+            self.precision = policy_for(precision)
+            if (
+                isinstance(executor_policy, PrecisionPolicy)
+                and executor_policy != self.precision
+            ):
+                raise ValueError(
+                    f"force executor was built for precision "
+                    f"'{executor_policy.mode.value}' but the simulation asked "
+                    f"for '{self.precision.mode.value}'; construct both with "
+                    "the same mode"
+                )
+        self.system.cast_storage(self.precision.storage_dtype)
         self.backend = get_backend(backend)
+        self.backend.set_policy(self.precision)
         if self.tracer.enabled:
             self.backend = TracingBackend(self.backend, self.tracer)
         for potential in self.potentials:
             potential.backend = self.backend
         self.bonded = list(bonded)
+        for term in self.bonded:
+            term.policy = self.precision
         self.kspace = kspace
         if kspace is not None:
             kspace.tracer = self.tracer
+            kspace.policy = self.precision
         self.integrator = integrator if integrator is not None else VelocityVerletNVE()
         self.fixes = list(fixes)
         self.constraints = constraints
@@ -266,9 +314,6 @@ class Simulation:
         self.neighbor.tracer = self.tracer
         self._setup_done = False
         self._initial_energy: float | None = None
-        self.force_executor = (
-            force_executor if force_executor is not None else SerialForceExecutor()
-        )
         self.force_executor.bind(self)
 
     # ------------------------------------------------------------------
@@ -399,34 +444,66 @@ class Simulation:
 
     def run(
         self,
-        n_steps: int,
+        n_steps: "int | RunConfig",
         *,
         reset_timers: bool = False,
         checkpoint=None,
     ) -> None:
-        """Run ``n_steps`` timesteps.
+        """Run the timesteps a :class:`~repro.md.config.RunConfig` asks for.
 
-        ``reset_timers=True`` clears the task breakdown (and the
-        accumulated ``step_seconds``) first, so warmup/equilibration
-        steps don't pollute the fractions this run reports — operation
-        counters and thermodynamic state are left untouched.
+        The preferred spelling passes one config object::
 
-        ``checkpoint`` accepts a
-        :class:`repro.reliability.CheckpointManager` (or anything with a
-        ``maybe_checkpoint(simulation)`` method); it is consulted after
-        every completed step so periodic snapshots land on the step
-        boundaries they name.  For crash *recovery* on top of periodic
-        checkpoints, drive the loop through
+            sim.run(RunConfig(steps=1000, reset_timers=True))
+
+        which can also switch precision mode, kernel backend and tracer
+        for the run (see :class:`~repro.md.config.RunConfig`).  A bare
+        integer step count — ``sim.run(1000)`` — remains first-class.
+
+        The legacy keyword arguments ``reset_timers=`` / ``checkpoint=``
+        still work but are deprecated: they forward into a
+        :class:`RunConfig` and emit one ``DeprecationWarning`` per
+        process.  For crash *recovery* on top of periodic checkpoints,
+        drive the loop through
         :class:`repro.reliability.ResilientRunner` instead.
         """
-        if n_steps < 0:
-            raise ValueError("n_steps must be non-negative")
-        if reset_timers:
+        if isinstance(n_steps, RunConfig):
+            if reset_timers or checkpoint is not None:
+                raise TypeError(
+                    "pass reset_timers/checkpoint inside the RunConfig, not "
+                    "as keyword arguments alongside it"
+                )
+            config = n_steps
+        else:
+            if reset_timers or checkpoint is not None:
+                global _LEGACY_RUN_KWARGS_WARNED
+                if not _LEGACY_RUN_KWARGS_WARNED:
+                    _LEGACY_RUN_KWARGS_WARNED = True
+                    warnings.warn(
+                        "Simulation.run(n, reset_timers=..., checkpoint=...) "
+                        "keyword arguments are deprecated; pass a "
+                        "repro.md.RunConfig instead: "
+                        "run(RunConfig(n, reset_timers=..., checkpoint=...))",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+            if n_steps < 0:
+                raise ValueError("n_steps must be non-negative")
+            config = RunConfig(
+                n_steps, reset_timers=reset_timers, checkpoint=checkpoint
+            )
+
+        if config.tracer is not None:
+            self.attach_tracer(config.tracer)
+        if config.backend is not None:
+            self.set_backend(config.backend)
+        if config.precision is not None:
+            self.set_precision(config.precision)
+        if config.reset_timers:
             self.reset_timers()
-        for _ in range(n_steps):
+        for _ in range(config.steps):
             self.step()
-            if checkpoint is not None:
-                checkpoint.maybe_checkpoint(self)
+            if config.checkpoint is not None:
+                config.checkpoint.maybe_checkpoint(self)
 
     def reset_timers(self) -> None:
         """Zero the per-task timers and the step wall-clock accumulator."""
@@ -442,6 +519,49 @@ class Simulation:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    def set_precision(
+        self, precision: "Precision | str | PrecisionPolicy"
+    ) -> None:
+        """Switch the active precision policy in place (serial engine).
+
+        Casts the master per-atom state to the new storage dtype,
+        re-points every kernel/bonded/k-space layer at the new compute
+        dtype, and schedules a fresh neighbor build + force evaluation
+        so the next step runs entirely under the new mode.  Parallel
+        executors type their shared-memory buffers at start-up, so a
+        mode change there requires constructing a new executor.
+        """
+        policy = policy_for(precision)
+        if policy == self.precision:
+            return
+        if not isinstance(self.force_executor, SerialForceExecutor):
+            raise ValueError(
+                "cannot change precision on a non-serial force executor — "
+                "its buffers are typed at start-up; construct a new executor "
+                f"with precision='{policy.mode.value}' instead"
+            )
+        self.precision = policy
+        self.system.cast_storage(policy.storage_dtype)
+        self.backend.set_policy(policy)
+        for term in self.bonded:
+            term.policy = policy
+        if self.kspace is not None:
+            self.kspace.policy = policy
+        # Neighbor state and step-0 forces were built under the old
+        # dtype; redo both before the next step.
+        self._setup_done = False
+
+    def set_backend(self, backend: "KernelBackend | str") -> None:
+        """Swap the kernel backend, preserving tracing and precision."""
+        new = get_backend(backend)
+        new.set_policy(self.precision)
+        self.backend = (
+            TracingBackend(new, self.tracer) if self.tracer.enabled else new
+        )
+        for potential in self.potentials:
+            potential.backend = self.backend
 
     # ------------------------------------------------------------------
     def attach_tracer(self, tracer) -> None:

@@ -48,6 +48,7 @@ from repro.md.atoms import AtomSystem
 from repro.md.box import Box
 from repro.md.kernels import backend_spec, get_backend
 from repro.md.neighbor import _encode_pairs
+from repro.md.precision import Precision, PrecisionPolicy, policy_for
 from repro.md.potentials.base import ForceResult
 from repro.md.potentials.eam import EAMAlloy
 from repro.md.potentials.granular import ContactHistory
@@ -115,6 +116,9 @@ class _WorkerPayload:
     has_omega: bool
     needs_velocities: bool
     barrier_timeout: float
+    #: Precision mode name; each worker installs the matching policy on
+    #: its own backend instance.
+    precision: str = "double"
     #: Potential slots carrying a contact-history store, and the row
     #: capacity of their per-worker dump arrays.
     history_slots: tuple = ()
@@ -144,6 +148,7 @@ def _worker_main(payload: _WorkerPayload, start_barrier, done_barrier) -> None:
     worker = payload.worker_id
     arena = ShmArena.attach(payload.specs)
     backend = get_backend(payload.backend)
+    backend.set_policy(policy_for(payload.precision))
     control = arena["control"]
     timing = arena["timing"]
     lists: DomainLists | None = None
@@ -329,6 +334,14 @@ class ParallelForceExecutor(ForceExecutor):
         ``kind`` (``"kill"``/``"hang"``) and ``worker`` attributes —
         normally a :class:`repro.reliability.FaultPlan`).  When ``None``,
         ``$REPRO_FAULT_PLAN`` is consulted lazily on first dispatch.
+    precision:
+        Precision mode for the pool — a
+        :class:`~repro.md.precision.Precision`, a case-insensitive mode
+        name, or ``None`` for float64.  The shared position/velocity/
+        force buffers are allocated in the mode's storage dtype (SINGLE
+        halves every publish/collect byte), and each worker installs
+        the matching policy on its kernel backend.  Typed at start-up:
+        changing modes needs a new executor.
     """
 
     def __init__(
@@ -339,10 +352,12 @@ class ParallelForceExecutor(ForceExecutor):
         quasi_2d: bool = False,
         start_method: str | None = None,
         fault_plan=None,
+        precision: "Precision | str | PrecisionPolicy | None" = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = int(n_workers)
+        self.precision = policy_for(precision)
         self.barrier_timeout = float(barrier_timeout)
         self.quasi_2d = bool(quasi_2d)
         if start_method is None:
@@ -389,22 +404,28 @@ class ParallelForceExecutor(ForceExecutor):
         )
         has_omega = system.omega is not None
 
+        # Per-atom exchange state is typed by the precision policy:
+        # SINGLE halves every publish/collect byte through the arena,
+        # while the per-atom energy/virial accumulator slots follow the
+        # accumulate dtype.  Control/timing words stay float64.
+        sd = self.precision.storage_dtype
+        ad = self.precision.accumulate_dtype
         layout = {
             "control": ((8,), np.float64),
-            "positions": ((n, 3), np.float64),
-            "velocities": ((n, 3), np.float64),
-            "forces": ((n, 3), np.float64),
-            "energy": ((n,), np.float64),
-            "virial": ((n,), np.float64),
+            "positions": ((n, 3), sd),
+            "velocities": ((n, 3), sd),
+            "forces": ((n, 3), sd),
+            "energy": ((n,), ad),
+            "virial": ((n,), ad),
             "timing": ((self.n_workers, 5), np.float64),
             "interactions": ((self.n_workers, max(1, len(potentials))), np.int64),
             "error_flag": ((self.n_workers,), np.int64),
             "error_text": ((self.n_workers, _ERROR_BYTES), np.uint8),
         }
         if has_omega:
-            layout["omega"] = ((n, 3), np.float64)
+            layout["omega"] = ((n, 3), sd)
         if system.torques is not None:
-            layout["torques"] = ((n, 3), np.float64)
+            layout["torques"] = ((n, 3), sd)
         self._history_slots = tuple(
             slot
             for slot, potential in enumerate(potentials)
@@ -466,6 +487,7 @@ class ParallelForceExecutor(ForceExecutor):
                 has_omega=has_omega,
                 needs_velocities=needs_velocities or has_omega,
                 barrier_timeout=self.barrier_timeout,
+                precision=self.precision.mode.value,
                 history_slots=self._history_slots,
                 history_cap=self._history_cap,
                 initial_histories=self._initial_histories,
@@ -542,6 +564,16 @@ class ParallelForceExecutor(ForceExecutor):
             self.close()
         except Exception:
             pass
+
+    @property
+    def arena_nbytes(self) -> int:
+        """Bytes mapped in the shared-memory arena (0 before start).
+
+        Sized by the precision policy: the per-atom position/velocity/
+        force segments use the storage dtype, so SINGLE reports half the
+        exchange footprint of DOUBLE for the same atom count.
+        """
+        return 0 if self._arena is None else int(self._arena.nbytes)
 
     # ------------------------------------------------------------------
     # Dispatch machinery
@@ -703,8 +735,9 @@ class ParallelForceExecutor(ForceExecutor):
             np.copyto(system.torques, arena["torques"])
         # Canonical-order reductions: summing the per-atom shared slots
         # by global id makes totals independent of the decomposition.
-        energy = float(np.sum(arena["energy"]))
-        virial = float(np.sum(arena["virial"]))
+        # The scalar totals always reduce in float64.
+        energy = float(np.sum(arena["energy"], dtype=np.float64))
+        virial = float(np.sum(arena["virial"], dtype=np.float64))
         interactions = 0
         per_potential = arena["interactions"].sum(axis=0)
         for slot, potential in enumerate(self.simulation.potentials):

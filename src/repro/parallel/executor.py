@@ -19,6 +19,7 @@ from repro.observability.tracer import NULL_TRACER, resolve_tracer
 from repro.parallel.decomposition import SubdomainGeometry
 from repro.parallel.mpi_model import MpiModel, MpiTimes
 from repro.perfmodel.costs import CpuCostModel, kspace_grid
+from repro.md.precision import parse_precision
 from repro.perfmodel.precision import Precision
 from repro.perfmodel.workloads import WorkloadParams, get_workload
 from repro.platforms.instances import CPU_INSTANCE, InstanceSpec
@@ -124,9 +125,10 @@ def simulate_cpu_run(
     if kspace_error is not None and not workload.has_kspace:
         raise ValueError(f"{benchmark} computes no long-range forces")
 
+    precision = parse_precision(precision)
     model = cost_model if cost_model is not None else CpuCostModel(precision=precision)
     if cost_model is None:
-        model.precision = Precision(precision)
+        model.precision = precision
     mpi = mpi_model if mpi_model is not None else MpiModel()
 
     geometry = _geometry(workload, n_atoms, n_ranks)
@@ -227,7 +229,7 @@ def simulate_cpu_run(
         benchmark=benchmark,
         n_atoms=n_atoms,
         n_ranks=n_ranks,
-        precision=str(Precision(precision).value),
+        precision=str(precision.value),
         kspace_error=effective_error if workload.has_kspace else None,
         task_seconds=task_seconds,
         mpi_function_seconds=dict(mpi_times.per_function),

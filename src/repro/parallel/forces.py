@@ -114,13 +114,13 @@ class DomainLists:
         return self.n_owned_rows
 
     def geometry_scratch(
-        self, m: int
+        self, m: int, dtype: np.dtype = np.float64
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Per-rebuild scratch for the ``dr``/``tmp``/``r2`` hot arrays."""
-        if self._dr is None or len(self._dr) < m:
-            self._dr = np.empty((m, 3))
-            self._tmp = np.empty((m, 3))
-            self._r2 = np.empty(m)
+        if self._dr is None or len(self._dr) < m or self._dr.dtype != dtype:
+            self._dr = np.empty((m, 3), dtype=dtype)
+            self._tmp = np.empty((m, 3), dtype=dtype)
+            self._r2 = np.empty(m, dtype=dtype)
         return self._dr[:m], self._tmp[:m], self._r2[:m]
 
 
@@ -176,7 +176,10 @@ def evaluate_domain_forces(
     full_rows = any(isinstance(p, EAMAlloy) for p in potentials)
     m = len(lists.di) if full_rows else lists.n_owned_rows
     di, dj = lists.di[:m], lists.dj[:m]
-    dr_all, tmp, r2_all = lists.geometry_scratch(m)
+    # Geometry runs in the storage dtype of the shared position buffer
+    # (float32 under SINGLE), mirroring the serial kernels' policy.
+    lengths = np.asarray(lengths).astype(positions.dtype, copy=False)
+    dr_all, tmp, r2_all = lists.geometry_scratch(m, positions.dtype)
     np.take(positions, lists.gdi[:m], axis=0, out=dr_all, mode="clip")
     np.take(positions, lists.gdj[:m], axis=0, out=tmp, mode="clip")
     np.subtract(dr_all, tmp, out=dr_all)
@@ -192,11 +195,14 @@ def evaluate_domain_forces(
     np.einsum("ij,ij->i", dr_all, dr_all, out=r2_all)
     owned_mask = di < n_owned
 
+    # Per-atom accumulators follow the accumulate dtype: MIXED gathers
+    # float32 per-pair terms into float64 totals.
+    at = backend.policy.accumulate_dtype
     out = LocalForces(
-        forces=np.zeros((n_owned, 3)),
-        energy=np.zeros(n_owned),
-        virial=np.zeros(n_owned),
-        torques=np.zeros((n_owned, 3)) if omega is not None else None,
+        forces=np.zeros((n_owned, 3), dtype=at),
+        energy=np.zeros(n_owned, dtype=at),
+        virial=np.zeros(n_owned, dtype=at),
+        torques=np.zeros((n_owned, 3), dtype=at) if omega is not None else None,
     )
 
     for slot, pot in enumerate(potentials):
@@ -262,12 +268,19 @@ def _analytic_terms(
     i, j = di[sel], dj[sel]
     dr, r2 = dr_all[sel], r2_all[sel]
     r = np.sqrt(r2)
+    # The pair set was decided in the storage dtype above; the per-pair
+    # math now drops to the compute dtype (a no-op except under MIXED).
+    ct = backend.policy.compute_dtype
+    if dr.dtype != ct:
+        dr = dr.astype(ct)
+        r2 = r2.astype(ct)
+        r = r.astype(ct)
     types = statics["types"]
     charges = statics["charges"]
     type_i = types[i] if pot.needs_types else None
     type_j = types[j] if pot.needs_types else None
-    q_i = charges[i] if pot.needs_charges else None
-    q_j = charges[j] if pot.needs_charges else None
+    q_i = charges[i].astype(ct, copy=False) if pot.needs_charges else None
+    q_j = charges[j].astype(ct, copy=False) if pot.needs_charges else None
     energy, f_over_r = pot.pair_terms(r, r2, type_i, type_j, q_i, q_j)
     backend.scatter_add_sorted(out.forces, i, f_over_r[:, None] * dr)
     backend.scatter_add_sorted(out.energy, i, 0.5 * energy)
@@ -301,19 +314,27 @@ def _eam_terms(
     i, j = lists.di[sel], lists.dj[sel]
     r2 = r2_all[sel]
     r = np.sqrt(r2)
+    ct = backend.policy.compute_dtype
+    dr_sel = dr_all[sel]
+    if r.dtype != ct:
+        r = r.astype(ct)
+        r2 = r2.astype(ct)
+        dr_sel = dr_sel.astype(ct)
 
     f_r, df_r = pot.density_function(r)
-    rho = np.zeros(lists.index.n_local)
+    # Densities accumulate in the accumulate dtype (f64 under MIXED).
+    rho = np.zeros(lists.index.n_local, dtype=backend.policy.accumulate_dtype)
     backend.scatter_add_sorted(rho, i, f_r)
     F_rho, Fp_rho = pot.embedding_function(rho)
 
     phi, dphi = pot.pair_function(r)
-    f_over_r = -(dphi + (Fp_rho[i] + Fp_rho[j]) * df_r) / r
+    Fp = Fp_rho.astype(ct, copy=False)
+    f_over_r = -(dphi + (Fp[i] + Fp[j]) * df_r) / r
 
     owned = i < n_owned
     io = i[owned]
     backend.scatter_add_sorted(
-        out.forces, io, f_over_r[owned, None] * dr_all[sel][owned]
+        out.forces, io, f_over_r[owned, None] * dr_sel[owned]
     )
     out.energy += F_rho[:n_owned]
     backend.scatter_add_sorted(out.energy, io, 0.5 * phi[owned])
@@ -353,24 +374,30 @@ def _hooke_terms(
     out.interactions.append(len(sel))
     i, j = lists.di[sel], lists.dj[sel]
     r = np.sqrt(r2_all[sel])
-    touching = r < radii[i] + radii[j]
+    touching = r < (radii[i] + radii[j]).astype(r.dtype, copy=False)
     sel, i, j, r = sel[touching], i[touching], j[touching], r[touching]
     gids = lists.index.gids
     keys = gids[i] * np.int64(n_atoms_total) + gids[j]
     xi = history.sync(keys)
     if len(sel) == 0:
         return
+    # Contact math in the compute dtype; the tangential history stays
+    # float64 (restart state), exactly as the serial evaluation does.
+    ct = backend.policy.compute_dtype
+    dr_sel = dr_all[sel].astype(ct, copy=False)
+    if r.dtype != ct:
+        r = r.astype(ct)
     f_i, torque, xi_new, pair_energy, pair_virial = pot.contact_terms(
-        dr_all[sel],
+        dr_sel,
         r,
-        radii[i],
-        radii[j],
-        masses[i],
-        masses[j],
-        velocities[i],
-        velocities[j],
-        omega[i] if omega is not None else None,
-        omega[j] if omega is not None else None,
+        radii[i].astype(ct, copy=False),
+        radii[j].astype(ct, copy=False),
+        masses[i].astype(ct, copy=False),
+        masses[j].astype(ct, copy=False),
+        velocities[i].astype(ct, copy=False),
+        velocities[j].astype(ct, copy=False),
+        omega[i].astype(ct, copy=False) if omega is not None else None,
+        omega[j].astype(ct, copy=False) if omega is not None else None,
         xi,
     )
     history.store(xi_new)

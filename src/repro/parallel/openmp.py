@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.parallel.executor import CpuRunResult, simulate_cpu_run
 from repro.perfmodel.costs import CpuCostModel
+from repro.md.precision import parse_precision
 from repro.perfmodel.precision import Precision
 from repro.perfmodel.workloads import get_workload
 from repro.platforms.instances import CPU_INSTANCE, InstanceSpec
@@ -75,6 +76,7 @@ def simulate_hybrid_run(
     """
     if n_threads < 1:
         raise ValueError("n_threads must be >= 1")
+    precision = parse_precision(precision)
     total_cores = n_ranks * n_threads
     instance.validate_resources(n_ranks=total_cores)
     omp = omp if omp is not None else OpenMpModel()

@@ -1,11 +1,13 @@
 """Restart-parity matrix: snapshot/restore is bit-for-bit on all five
-benchmarks, serial and parallel.
+benchmarks, serial and parallel, in the double and mixed dtype policies.
 
 Each case runs an uninterrupted reference for ``2k`` steps, then an
 interrupted twin: run ``k`` steps, snapshot, restore into a *freshly
 built* simulation, run the remaining ``k`` steps.  The final particle
 state must match the reference bitwise (``np.array_equal``, not
-allclose) — the whole point of snapshot format v2.
+allclose) — the whole point of snapshot format v2.  MIXED stores float64
+state, so its snapshots round-trip exactly like double's; the narrower
+SINGLE storage round-trip lives in ``tests/md/test_precision.py``.
 """
 
 import numpy as np
@@ -17,12 +19,16 @@ from repro.suite import get_benchmark
 
 SIZES = {"lj": 500, "chain": 400, "eam": 500, "rhodo": 384, "chute": 480}
 HALF_STEPS = 10
+PRECISIONS = ("double", "mixed")
 
 
-def _build(name, workers=0):
+def _build(name, workers=0, precision="double"):
     sim = get_benchmark(name).build(SIZES[name])
+    sim.set_precision(precision)
     if workers:
-        executor = ParallelForceExecutor(workers, quasi_2d=(name == "chute"))
+        executor = ParallelForceExecutor(
+            workers, quasi_2d=(name == "chute"), precision=precision
+        )
         sim.force_executor = executor
         executor.bind(sim)
     return sim
@@ -53,12 +59,12 @@ def _assert_bitwise(restarted, reference):
     )
 
 
-def _restart_case(name, workers, tmp_path):
-    reference = _build(name, workers)
+def _restart_case(name, workers, tmp_path, precision="double"):
+    reference = _build(name, workers, precision)
     try:
         _steps(reference, 2 * HALF_STEPS)
 
-        interrupted = _build(name, workers)
+        interrupted = _build(name, workers, precision)
         try:
             _steps(interrupted, HALF_STEPS)
             path = tmp_path / f"{name}.npz"
@@ -66,7 +72,7 @@ def _restart_case(name, workers, tmp_path):
         finally:
             interrupted.force_executor.close()
 
-        restarted = _build(name, workers)
+        restarted = _build(name, workers, precision)
         try:
             restore_simulation(restarted, path)
             for _ in range(HALF_STEPS):
@@ -79,15 +85,19 @@ def _restart_case(name, workers, tmp_path):
 
 
 class TestSerialRestartParity:
+    @pytest.mark.parametrize("precision", PRECISIONS)
     @pytest.mark.parametrize("name", sorted(SIZES))
-    def test_bitwise(self, name, tmp_path):
-        _restart_case(name, workers=0, tmp_path=tmp_path)
+    def test_bitwise(self, name, precision, tmp_path):
+        _restart_case(name, workers=0, tmp_path=tmp_path, precision=precision)
 
 
 class TestParallelRestartParity:
     @pytest.mark.parametrize("name", sorted(SIZES))
     def test_bitwise_two_workers(self, name, tmp_path):
         _restart_case(name, workers=2, tmp_path=tmp_path)
+
+    def test_bitwise_two_workers_mixed(self, tmp_path):
+        _restart_case("lj", workers=2, tmp_path=tmp_path, precision="mixed")
 
     def test_bitwise_four_workers(self, tmp_path):
         _restart_case("lj", workers=4, tmp_path=tmp_path)
