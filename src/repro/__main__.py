@@ -277,12 +277,31 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     bench = get_benchmark(args.experiment)
     quasi_2d = args.experiment == "chute"
 
+    backend_name = None
+    if args.backend:
+        from repro.md.kernels import (
+            backend_diagnostics,
+            backend_spec,
+            get_backend,
+        )
+
+        # get_backend degrades an unavailable optional backend to the
+        # default with a warning; surface the reason on the CLI too.
+        backend_name = backend_spec(get_backend(args.backend))
+        if backend_name != args.backend:
+            print(f"backend {args.backend!r} is unavailable "
+                  f"({backend_diagnostics().get(args.backend, 'unknown')}); "
+                  f"using {backend_name!r}")
+
     serial = bench.build(args.atoms)
     serial.set_precision(args.precision)
+    if backend_name:
+        serial.set_backend(backend_name)
     serial.setup()
     print(f"built {args.experiment}: {serial.system.n_atoms} atoms, "
           f"{os.cpu_count()} cores visible; running {args.steps} steps at "
-          f"{args.precision} precision, serial then on {args.workers} workers")
+          f"{args.precision} precision on the {serial.backend.name} "
+          f"backend, serial then on {args.workers} workers")
     import time as _time
 
     tick = _time.perf_counter()
@@ -304,6 +323,8 @@ def _cmd_scale(args: argparse.Namespace) -> int:
 
     parallel = bench.build(args.atoms)
     parallel.set_precision(args.precision)
+    if backend_name:
+        parallel.set_backend(backend_name)
     executor = ParallelForceExecutor(
         args.workers, quasi_2d=quasi_2d, precision=args.precision
     )
@@ -414,6 +435,11 @@ def main(argv: list[str] | None = None) -> int:
                        help="periodic checkpoint cadence in steps (0 = off)")
     scale.add_argument("--checkpoint-dir", default="checkpoint_out",
                        help="directory for --checkpoint-every snapshots")
+    scale.add_argument("--backend", default=None, metavar="NAME",
+                       help="kernel backend (numpy_ref, numpy_fast, "
+                            "compiled); an unavailable optional backend "
+                            "falls back to numpy_fast with the reason "
+                            "printed, an unknown name lists what exists")
     scale.add_argument("--precision", choices=("single", "mixed", "double"),
                        default="double",
                        help="dtype policy for both the serial reference and "

@@ -10,6 +10,12 @@ so that the same potentials run on interchangeable implementations:
 ``numpy_fast``
     CSR-ordered pairs, ``np.bincount`` segmented accumulation and
     preallocated scratch buffers (the default).
+``compiled``
+    Native-code pair forces *and* neighbor-list builds, via numba
+    ``@njit`` kernels when numba is importable or a ctypes-bound C
+    library compiled on first use otherwise.  Optional: when neither
+    provider works, requesting it falls back to ``numpy_fast`` with a
+    one-time warning (see :func:`backend_diagnostics` for the reason).
 
 Selection order: an explicit ``Simulation(backend=...)`` argument wins,
 then the ``REPRO_KERNEL_BACKEND`` environment variable, then
@@ -19,8 +25,13 @@ then the ``REPRO_KERNEL_BACKEND`` environment variable, then
 from __future__ import annotations
 
 import os
+import warnings
 
 from repro.md.kernels.base import KernelBackend
+from repro.md.kernels.compiled import (
+    BackendUnavailableError,
+    CompiledBackend,
+)
 from repro.md.kernels.numpy_fast import NumpyFastBackend
 from repro.md.kernels.numpy_ref import NumpyRefBackend
 
@@ -28,9 +39,12 @@ __all__ = [
     "KernelBackend",
     "NumpyRefBackend",
     "NumpyFastBackend",
+    "CompiledBackend",
+    "BackendUnavailableError",
     "DEFAULT_BACKEND",
     "BACKEND_ENV_VAR",
     "available_backends",
+    "backend_diagnostics",
     "get_backend",
     "backend_spec",
 ]
@@ -44,12 +58,36 @@ DEFAULT_BACKEND = "numpy_fast"
 _REGISTRY: dict[str, type[KernelBackend]] = {
     NumpyRefBackend.name: NumpyRefBackend,
     NumpyFastBackend.name: NumpyFastBackend,
+    CompiledBackend.name: CompiledBackend,
 }
+
+#: (name, reason) combinations already warned about, once per process.
+_warned_fallbacks: set[tuple[str, str]] = set()
 
 
 def available_backends() -> tuple[str, ...]:
-    """Names accepted by :func:`get_backend`, in registry order."""
+    """Names accepted by :func:`get_backend`, in registry order.
+
+    Every listed name is always *accepted*; optional backends that
+    cannot run on this machine resolve to the :data:`DEFAULT_BACKEND`
+    with a one-time warning.  :func:`backend_diagnostics` reports which
+    names are degraded and why.
+    """
     return tuple(_REGISTRY)
+
+
+def backend_diagnostics() -> dict[str, str]:
+    """Per-backend availability: ``"ok"`` or why it would fall back.
+
+    Probing an optional backend may do real work on first call (import
+    numba and JIT-compile, or invoke the C compiler), so this is meant
+    for CLIs, benchmarks and error paths — not per-step code.
+    """
+    diagnostics = {}
+    for name, cls in _REGISTRY.items():
+        probe = getattr(cls, "diagnostic", None)
+        diagnostics[name] = probe() if probe is not None else "ok"
+    return diagnostics
 
 
 def get_backend(spec: str | KernelBackend | None = None) -> KernelBackend:
@@ -59,17 +97,42 @@ def get_backend(spec: str | KernelBackend | None = None) -> KernelBackend:
     :data:`DEFAULT_BACKEND`; a string is looked up in the registry; an
     existing backend instance passes through unchanged (so a Simulation
     can share one scratch-carrying backend across its potentials).
+
+    Requesting an optional backend whose runtime support is missing
+    (e.g. ``compiled`` with neither numba nor a C compiler) returns the
+    default backend and warns once per process with the reason, so an
+    exported ``REPRO_KERNEL_BACKEND=compiled`` can never break a run.
     """
     if isinstance(spec, KernelBackend):
         return spec
     if spec is None:
         spec = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
     try:
-        return _REGISTRY[spec]()
+        cls = _REGISTRY[spec]
     except KeyError:
+        degraded = "; ".join(
+            f"{name}: {reason}"
+            for name, reason in backend_diagnostics().items()
+            if not reason.startswith("ok")
+        )
+        detail = f" (note: {degraded})" if degraded else ""
         raise ValueError(
-            f"unknown kernel backend {spec!r}; available: {available_backends()}"
+            f"unknown kernel backend {spec!r}; available: "
+            f"{available_backends()}{detail}"
         ) from None
+    try:
+        return cls()
+    except BackendUnavailableError as exc:
+        key = (spec, str(exc))
+        if key not in _warned_fallbacks:
+            _warned_fallbacks.add(key)
+            warnings.warn(
+                f"kernel backend {spec!r} is unavailable on this machine "
+                f"({exc}); falling back to {DEFAULT_BACKEND!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return _REGISTRY[DEFAULT_BACKEND]()
 
 
 def backend_spec(backend: KernelBackend) -> str:

@@ -1,0 +1,329 @@
+"""Numba provider for the ``compiled`` kernel backend.
+
+This module imports ``numba`` at the top level on purpose: the
+``compiled`` backend's provider resolution imports it inside a
+``try`` block, so an absent/broken numba surfaces as a diagnostic
+reason, not a crash.  JIT problems (e.g. an LLVM/numpy version
+mismatch) are caught the same way — every function is exercised on
+tiny inputs by the backend's smoke test before the provider is
+accepted, so a compile failure at that point demotes the backend to
+its numpy fallback instead of failing mid-simulation.
+
+The numerical contract is identical to the C provider in
+``_cc_impl`` (see its module docstring): exact ``Box.minimum_image``
+operation sequence, einsum's per-dtype r² summation order, and
+input-order scatter accumulation with float32 terms widened to the
+float64 accumulator under the MIXED policy.  ``cache=True`` persists
+the compiled machine code next to this file so warm processes skip
+recompilation; ``fastmath`` stays off — reassociation or FMA
+contraction would break bitwise parity with the numpy backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import numba
+from numba import njit
+
+__all__ = ["make_provider"]
+
+
+@njit(cache=True)
+def _scatter1(out, idx, v):
+    for k in range(idx.shape[0]):
+        out[idx[k]] += v[k]
+
+
+@njit(cache=True)
+def _scatter3(out, idx, v):
+    for k in range(idx.shape[0]):
+        a = idx[k]
+        out[a, 0] += v[k, 0]
+        out[a, 1] += v[k, 1]
+        out[a, 2] += v[k, 2]
+
+
+@njit(cache=True)
+def _acc_scaled(forces, pi, pj, dr, f_over_r):
+    m = pi.shape[0]
+    k = 0
+    while k < m:
+        a = pi[k]
+        sx = 0.0
+        sy = 0.0
+        sz = 0.0
+        while True:
+            f = f_over_r[k]
+            wx = f * dr[k, 0]
+            wy = f * dr[k, 1]
+            wz = f * dr[k, 2]
+            sx += wx
+            sy += wy
+            sz += wz
+            b = pj[k]
+            forces[b, 0] -= wx
+            forces[b, 1] -= wy
+            forces[b, 2] -= wz
+            k += 1
+            if k >= m or pi[k] != a:
+                break
+        forces[a, 0] += sx
+        forces[a, 1] += sy
+        forces[a, 2] += sz
+
+
+@njit(cache=True)
+def _acc_pair(forces, pi, pj, fv):
+    m = pi.shape[0]
+    k = 0
+    while k < m:
+        a = pi[k]
+        sx = 0.0
+        sy = 0.0
+        sz = 0.0
+        while True:
+            wx = fv[k, 0]
+            wy = fv[k, 1]
+            wz = fv[k, 2]
+            sx += wx
+            sy += wy
+            sz += wz
+            b = pj[k]
+            forces[b, 0] -= wx
+            forces[b, 1] -= wy
+            forces[b, 2] -= wz
+            k += 1
+            if k >= m or pi[k] != a:
+                break
+        forces[a, 0] += sx
+        forces[a, 1] += sy
+        forces[a, 2] += sz
+
+
+@njit(cache=True)
+def _pair_geom_f64(pos, pi, pj, lengths, periodic, rc2, oi, oj, odr, orr):
+    Lx, Ly, Lz = lengths[0], lengths[1], lengths[2]
+    px, py, pz = periodic[0], periodic[1], periodic[2]
+    c = 0
+    for k in range(pi.shape[0]):
+        a = pi[k]
+        b = pj[k]
+        dx = pos[a, 0] - pos[b, 0]
+        dy = pos[a, 1] - pos[b, 1]
+        dz = pos[a, 2] - pos[b, 2]
+        if px:
+            dx -= np.rint(dx / Lx) * Lx
+        if py:
+            dy -= np.rint(dy / Ly) * Ly
+        if pz:
+            dz -= np.rint(dz / Lz) * Lz
+        r2 = (dx * dx + dz * dz) + dy * dy  # einsum f64 order
+        if r2 < rc2:
+            oi[c] = a
+            oj[c] = b
+            odr[c, 0] = dx
+            odr[c, 1] = dy
+            odr[c, 2] = dz
+            orr[c] = np.sqrt(r2)
+            c += 1
+    return c
+
+
+@njit(cache=True)
+def _pair_geom_f32(pos, pi, pj, lengths, periodic, rc2, oi, oj, odr, orr):
+    Lx, Ly, Lz = lengths[0], lengths[1], lengths[2]
+    px, py, pz = periodic[0], periodic[1], periodic[2]
+    c = 0
+    for k in range(pi.shape[0]):
+        a = pi[k]
+        b = pj[k]
+        dx = pos[a, 0] - pos[b, 0]
+        dy = pos[a, 1] - pos[b, 1]
+        dz = pos[a, 2] - pos[b, 2]
+        if px:
+            dx -= np.rint(dx / Lx) * Lx
+        if py:
+            dy -= np.rint(dy / Ly) * Ly
+        if pz:
+            dz -= np.rint(dz / Lz) * Lz
+        r2 = (dx * dx + dy * dy) + dz * dz  # einsum f32 order
+        if r2 < rc2:
+            oi[c] = a
+            oj[c] = b
+            odr[c, 0] = dx
+            odr[c, 1] = dy
+            odr[c, 2] = dz
+            orr[c] = np.sqrt(r2)
+            c += 1
+    return c
+
+
+@njit(cache=True)
+def _cell_pairs(pos, lengths, origin, periodic, rc, oi, oj):
+    n = pos.shape[0]
+    cap = oi.shape[0]
+    n_cells = np.empty(3, np.int64)
+    cell_size = np.empty(3, np.float64)
+    for d in range(3):
+        nc = np.int64(np.floor(lengths[d] / rc))
+        n_cells[d] = nc if nc > 1 else 1
+        cell_size[d] = lengths[d] / n_cells[d]
+    sy = n_cells[2]
+    sx = n_cells[1] * n_cells[2]
+    total_cells = n_cells[0] * n_cells[1] * n_cells[2]
+
+    coords = np.empty((n, 3), np.int64)
+    flat = np.empty(n, np.int64)
+    counts = np.zeros(total_cells, np.int64)
+    for a in range(n):
+        for d in range(3):
+            c = np.int64(np.floor((pos[a, d] - origin[d]) / cell_size[d]))
+            if c > n_cells[d] - 1:
+                c = n_cells[d] - 1
+            if c < 0:
+                c = np.int64(0)
+            coords[a, d] = c
+        flat[a] = coords[a, 0] * sx + coords[a, 1] * sy + coords[a, 2]
+        counts[flat[a]] += 1
+    starts = np.empty(total_cells + 1, np.int64)
+    starts[0] = 0
+    for c in range(total_cells):
+        starts[c + 1] = starts[c] + counts[c]
+    fill = starts[:total_cells].copy()
+    order = np.empty(n, np.int64)
+    for a in range(n):  # stable counting sort == argsort kind="stable"
+        order[fill[flat[a]]] = a
+        fill[flat[a]] += 1
+
+    px, py, pz = periodic[0], periodic[1], periodic[2]
+    any_periodic = bool(px) or bool(py) or bool(pz)
+    Lx, Ly, Lz = lengths[0], lengths[1], lengths[2]
+    rc2 = rc * rc
+    count = 0
+
+    # The 13 forward offsets of _HALF_STENCIL, in its order.
+    off = np.array(
+        [
+            (0, 0, 1), (0, 1, -1), (0, 1, 0), (0, 1, 1),
+            (1, -1, -1), (1, -1, 0), (1, -1, 1),
+            (1, 0, -1), (1, 0, 0), (1, 0, 1),
+            (1, 1, -1), (1, 1, 0), (1, 1, 1),
+        ],
+        dtype=np.int64,
+    )
+
+    # Intra-cell triangular pairs over the stable sorted order.
+    for c in range(total_cells):
+        s = starts[c]
+        e = starts[c + 1]
+        for k in range(s, e):
+            a = order[k]
+            for idx in range(k + 1, e):
+                b = order[idx]
+                dx = pos[a, 0] - pos[b, 0]
+                dy = pos[a, 1] - pos[b, 1]
+                dz = pos[a, 2] - pos[b, 2]
+                if any_periodic:
+                    if px:
+                        dx -= np.rint(dx / Lx) * Lx
+                    if py:
+                        dy -= np.rint(dy / Ly) * Ly
+                    if pz:
+                        dz -= np.rint(dz / Lz) * Lz
+                r2 = (dx * dx + dz * dz) + dy * dy
+                if r2 < rc2:
+                    if count < cap:
+                        oi[count] = a
+                        oj[count] = b
+                    count += 1
+
+    # Inter-cell pairs: each atom against its 13 forward neighbor cells.
+    for a in range(n):
+        cx = coords[a, 0]
+        cy = coords[a, 1]
+        cz = coords[a, 2]
+        for s in range(13):
+            nx = cx + off[s, 0]
+            ny = cy + off[s, 1]
+            nz = cz + off[s, 2]
+            if px:
+                nx = ((nx % n_cells[0]) + n_cells[0]) % n_cells[0]
+            elif nx < 0 or nx >= n_cells[0]:
+                continue
+            if py:
+                ny = ((ny % n_cells[1]) + n_cells[1]) % n_cells[1]
+            elif ny < 0 or ny >= n_cells[1]:
+                continue
+            if pz:
+                nz = ((nz % n_cells[2]) + n_cells[2]) % n_cells[2]
+            elif nz < 0 or nz >= n_cells[2]:
+                continue
+            cell = nx * sx + ny * sy + nz
+            for idx in range(starts[cell], starts[cell + 1]):
+                b = order[idx]
+                dx = pos[a, 0] - pos[b, 0]
+                dy = pos[a, 1] - pos[b, 1]
+                dz = pos[a, 2] - pos[b, 2]
+                if any_periodic:
+                    if px:
+                        dx -= np.rint(dx / Lx) * Lx
+                    if py:
+                        dy -= np.rint(dy / Ly) * Ly
+                    if pz:
+                        dz -= np.rint(dz / Lz) * Lz
+                r2 = (dx * dx + dz * dz) + dy * dy
+                if r2 < rc2:
+                    if count < cap:
+                        oi[count] = a
+                        oj[count] = b
+                    count += 1
+    return count
+
+
+class NumbaProvider:
+    """Uniform provider API over the ``@njit`` kernels.
+
+    Dtype dispatch is numba's: each function specializes per argument
+    dtype on first call.  Segment accumulators are float64 literals, so
+    float32 inputs accumulate in float64 (at least as accurate as the
+    numpy backends' bincount; bounded by the per-precision oracle
+    tiers).
+    """
+
+    kind = "numba"
+
+    def __init__(self) -> None:
+        self.version = numba.__version__
+        self._supported = {
+            (np.float64, np.float64),
+            (np.float32, np.float32),
+            (np.float64, np.float32),
+        }
+
+    def supports(self, out, values) -> bool:
+        return (out.dtype.type, values.dtype.type) in self._supported
+
+    def scatter1(self, out, idx, v) -> None:
+        _scatter1(out, idx, v)
+
+    def scatter3(self, out, idx, v) -> None:
+        _scatter3(out, idx, v)
+
+    def acc_scaled(self, forces, i, j, dr, f_over_r) -> None:
+        _acc_scaled(forces, i, j, dr, f_over_r)
+
+    def acc_pair(self, forces, i, j, fv) -> None:
+        _acc_pair(forces, i, j, fv)
+
+    def pair_geom(self, pos, pi, pj, lengths, periodic, rc2, oi, oj, odr, orr):
+        fn = _pair_geom_f32 if pos.dtype == np.float32 else _pair_geom_f64
+        # rc2 arrives pre-cast to the position dtype (NEP 50 semantics).
+        return int(fn(pos, pi, pj, lengths, periodic, rc2, oi, oj, odr, orr))
+
+    def cell_pairs(self, pos, lengths, origin, periodic, rc, oi, oj):
+        return int(_cell_pairs(pos, lengths, origin, periodic, rc, oi, oj))
+
+
+def make_provider() -> NumbaProvider:
+    return NumbaProvider()

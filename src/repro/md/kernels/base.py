@@ -109,5 +109,41 @@ class KernelBackend(abc.ABC):
         """
         self.accumulate_pair_forces(forces, i, j, f_over_r[:, None] * dr)
 
+    def neighbor_pairs(
+        self, positions: np.ndarray, box, rc: float
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Optional native half-pair build for the Neigh task.
+
+        A backend that can bin-and-filter faster than the numpy
+        cell-list build returns the ``(i, j)`` half pairs here; the
+        result must reproduce :func:`repro.md.neighbor.
+        cell_list_half_pairs` exactly — same pair set *and* the same
+        orientations, since downstream CSR packing canonicalizes order
+        but not which atom is ``i``.  Returning ``None`` (the default)
+        keeps the caller on the numpy path, which is also the escape
+        hatch for inputs a backend does not cover (e.g. float32
+        positions under the SINGLE policy).
+        """
+        return None
+
+    def count_pairs_within(
+        self,
+        positions: np.ndarray,
+        box,
+        pair_i: np.ndarray,
+        pair_j: np.ndarray,
+        rc: float,
+    ) -> int | None:
+        """Optional native count of stored pairs within ``rc``.
+
+        Used by the neighbor list's per-build statistics (the Table-2
+        neighbors-per-atom figure), which otherwise re-derives the full
+        minimum-image geometry in numpy just to count.  The count must
+        be identical to ``r2 < rc*rc`` over the numpy geometry (the
+        compiled provider reuses its bitwise ``pair_geom`` kernel).
+        ``None`` (the default) keeps the caller on the numpy path.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r}>"

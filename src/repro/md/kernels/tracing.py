@@ -42,6 +42,20 @@ class TracingBackend(KernelBackend):
         with self.tracer.span("kernel.scatter_add", "kernel"):
             self.inner.scatter_add(out, index, values)
 
+    def scatter_add_sorted(self, out, index, values):
+        with self.tracer.span("kernel.scatter_add", "kernel"):
+            self.inner.scatter_add_sorted(out, index, values)
+
+    def neighbor_pairs(self, positions, box, rc):
+        # No span: the neighbor module already wraps the whole build in
+        # its "neigh.cell_pairs" span; the delegation just keeps a
+        # traced compiled backend on its native build path.
+        return self.inner.neighbor_pairs(positions, box, rc)
+
+    def count_pairs_within(self, positions, box, pair_i, pair_j, rc):
+        # Same reasoning as neighbor_pairs: covered by the build span.
+        return self.inner.count_pairs_within(positions, box, pair_i, pair_j, rc)
+
     def accumulate_pair_forces(self, forces, i, j, fvec):
         with self.tracer.span("kernel.accumulate", "kernel"):
             self.inner.accumulate_pair_forces(forces, i, j, fvec)

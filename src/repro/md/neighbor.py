@@ -220,6 +220,7 @@ def subdomain_directed_pairs(
     sort_key: np.ndarray | None = None,
     brute_force_max: int | None = None,
     anchor_limit: int | None = None,
+    kernels=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Directed pair list over a subdomain's local atom set.
 
@@ -240,6 +241,13 @@ def subdomain_directed_pairs(
     its density pass needs the ghost-headed rows and must not set
     this).  The surviving rows are bitwise identical to the matching
     prefix of the unrestricted list.
+
+    ``kernels`` optionally supplies a
+    :class:`~repro.md.kernels.base.KernelBackend` whose
+    ``neighbor_pairs`` hook replaces the numpy cell-list search on the
+    above-crossover path; backends contract to reproduce the numpy
+    pairs exactly, so the directed rows (and hence parallel summation
+    order) are unchanged.
     """
     positions = np.asarray(positions)
     if positions.dtype != np.float32:
@@ -257,7 +265,14 @@ def subdomain_directed_pairs(
     if n <= limit:
         i, j = brute_force_pairs(positions, box, rc)
     else:
-        i, j = cell_list_half_pairs(positions, box, rc)
+        pairs = (
+            kernels.neighbor_pairs(positions, box, rc)
+            if kernels is not None
+            else None
+        )
+        i, j = pairs if pairs is not None else cell_list_half_pairs(
+            positions, box, rc
+        )
     if anchor_limit is None:
         di = np.concatenate([i, j])
         dj = np.concatenate([j, i])
@@ -365,6 +380,13 @@ class NeighborList:
         #: Span sink for rebuild instrumentation (no-op by default; the
         #: owning Simulation assigns its tracer).
         self.tracer = NULL_TRACER
+        #: Optional kernel backend consulted for the cell-list build
+        #: (the owning Simulation assigns its backend; the ``compiled``
+        #: backend replaces the numpy bin/filter loop with native code
+        #: that reproduces the same pairs exactly).  ``None`` — and any
+        #: backend whose ``neighbor_pairs`` returns ``None`` — keeps
+        #: the numpy path.
+        self.kernels = None
         self._positions_at_build: np.ndarray | None = None
         self._box_lengths_at_build: np.ndarray | None = None
         self.pair_i = np.empty(0, dtype=np.int64)
@@ -446,9 +468,15 @@ class NeighborList:
         self.stats.last_pairs = len(self.pair_i)
         # Neighbors/atom counted within the *cutoff* (Table 2 convention),
         # not within cutoff + skin.
-        dr = box.minimum_image(positions[i] - positions[j])
-        r2 = np.einsum("ij,ij->i", dr, dr)
-        within = int(np.count_nonzero(r2 < self.cutoff * self.cutoff))
+        within = (
+            self.kernels.count_pairs_within(positions, box, i, j, self.cutoff)
+            if self.kernels is not None
+            else None
+        )
+        if within is None:
+            dr = box.minimum_image(positions[i] - positions[j])
+            r2 = np.einsum("ij,ij->i", dr, dr)
+            within = int(np.count_nonzero(r2 < self.cutoff * self.cutoff))
         self.stats.last_neighbors_per_atom = 2.0 * within / n
 
     @staticmethod
@@ -460,7 +488,18 @@ class NeighborList:
     def _cell_list_pairs(
         self, positions: np.ndarray, box: Box, rc: float
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Binned half pairs; see :func:`cell_list_half_pairs`."""
+        """Binned half pairs; see :func:`cell_list_half_pairs`.
+
+        When a kernel backend is attached, its ``neighbor_pairs`` hook
+        gets first refusal — the compiled backend runs the bin/filter
+        loop natively and contracts to emit the identical pair set and
+        orientations, so the CSR packing downstream is byte-for-byte
+        the same either way.
+        """
+        if self.kernels is not None:
+            pairs = self.kernels.neighbor_pairs(positions, box, rc)
+            if pairs is not None:
+                return pairs
         return cell_list_half_pairs(positions, box, rc)
 
     # ------------------------------------------------------------------

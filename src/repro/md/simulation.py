@@ -188,12 +188,15 @@ class Simulation:
     thermo_every:
         Output interval ("Output" task).
     backend:
-        Kernel backend for the Pair-task hot loop — a
+        Kernel backend for the Pair- and Neigh-task hot loops — a
         :class:`~repro.md.kernels.base.KernelBackend` instance, a
-        registry name (``"numpy_ref"`` / ``"numpy_fast"``), or ``None``
-        to fall back to ``$REPRO_KERNEL_BACKEND`` and then the default.
-        One backend instance (and hence one set of scratch buffers) is
-        shared by every potential of the simulation.
+        registry name (``"numpy_ref"`` / ``"numpy_fast"`` /
+        ``"compiled"``), or ``None`` to fall back to
+        ``$REPRO_KERNEL_BACKEND`` and then the default.  ``"compiled"``
+        needs numba or a system C compiler and degrades to
+        ``numpy_fast`` with a warning otherwise.  One backend instance
+        (and hence one set of scratch buffers) is shared by every
+        potential and the neighbor list of the simulation.
     tracer:
         Span tracer recording the step timeline — a
         :class:`~repro.observability.Tracer`, ``True`` for a fresh
@@ -312,6 +315,10 @@ class Simulation:
             cutoff, skin, full=full, exclusions=exclusions
         )
         self.neighbor.tracer = self.tracer
+        # The neighbor build consults the same backend instance (the
+        # compiled backend's native cell-list path; numpy backends
+        # decline the hook and keep the vectorized build).
+        self.neighbor.kernels = self.backend
         self._setup_done = False
         self._initial_energy: float | None = None
         self.force_executor.bind(self)
@@ -562,6 +569,7 @@ class Simulation:
         )
         for potential in self.potentials:
             potential.backend = self.backend
+        self.neighbor.kernels = self.backend
 
     # ------------------------------------------------------------------
     def attach_tracer(self, tracer) -> None:
@@ -582,6 +590,7 @@ class Simulation:
         self.backend = TracingBackend(inner, tracer) if tracer.enabled else inner
         for potential in self.potentials:
             potential.backend = self.backend
+        self.neighbor.kernels = self.backend
 
     def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
         """Attach (or detach, with ``None``) a metrics registry."""

@@ -214,6 +214,7 @@ def _worker_main(payload: _WorkerPayload, start_barrier, done_barrier) -> None:
                         excluded_keys=payload.excluded_keys,
                         n_atoms_total=payload.n_atoms,
                         owned_only=owned_only,
+                        kernels=backend,
                     )
                     statics_local = {
                         key: (None if value is None else value[index.gids])
@@ -459,13 +460,21 @@ class ParallelForceExecutor(ForceExecutor):
         }
         spec = backend_spec(sim.backend)
         # Workers get potential clones with the backend reference severed
-        # (backends carry scratch buffers and possibly tracer handles);
-        # each worker resolves its own instance from the registry name.
+        # (backends carry scratch buffers, possibly tracer handles, and —
+        # for the compiled backend — ctypes bindings that cannot be
+        # pickled or deep-copied); each worker resolves its own instance
+        # from the registry name.  Sever *before* the deepcopy so the
+        # backend never enters the copy graph, then restore.
         import copy
 
-        worker_potentials = copy.deepcopy(potentials)
-        for pot in worker_potentials:
+        saved_backends = [pot._backend for pot in potentials]
+        for pot in potentials:
             pot._backend = None
+        try:
+            worker_potentials = copy.deepcopy(potentials)
+        finally:
+            for pot, saved in zip(potentials, saved_backends):
+                pot._backend = saved
 
         self._start_barrier = self._ctx.Barrier(self.n_workers + 1)
         self._done_barrier = self._ctx.Barrier(self.n_workers + 1)

@@ -79,15 +79,20 @@ class DomainLists:
         excluded_keys: np.ndarray | None = None,
         n_atoms_total: int = 0,
         owned_only: bool = False,
+        kernels: "KernelBackend | None" = None,
     ) -> "DomainLists":
         # Non-EAM workloads never read ghost-headed rows; dropping them
         # before the sort (owned_only) cuts the rebuild's lexsort and
-        # gather volume without changing any surviving row.
+        # gather volume without changing any surviving row.  ``kernels``
+        # lets the worker's backend (the compiled one) run the local
+        # cell-list search natively; it contracts to emit the numpy
+        # pairs exactly, so the directed rows are unchanged.
         di, dj = subdomain_directed_pairs(
             local_positions,
             list_cutoff,
             sort_key=index.gids,
             anchor_limit=index.n_owned if owned_only else None,
+            kernels=kernels,
         )
         if excluded_keys is not None and len(excluded_keys) and len(di):
             gi = index.gids[di]

@@ -35,7 +35,7 @@ TOL = dict(rtol=1e-12, atol=1e-12)
 
 class TestRegistry:
     def test_available_backends(self):
-        assert set(available_backends()) == {"numpy_ref", "numpy_fast"}
+        assert set(available_backends()) == {"numpy_ref", "numpy_fast", "compiled"}
 
     def test_default_is_numpy_fast(self, monkeypatch):
         monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)

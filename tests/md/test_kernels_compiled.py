@@ -1,0 +1,326 @@
+"""Compiled-backend tests: provider resolution and fallback semantics,
+the bitwise contracts against the numpy implementations, the
+backend x precision oracle matrix, and parallel determinism.
+
+Everything that needs a working provider (numba or a C compiler) is
+guarded by ``needs_compiled``; the availability/fallback tests run
+everywhere because they exercise exactly the no-provider path.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.md.kernels as kernels_module
+from repro.md import policy_for
+from repro.md.atoms import AtomSystem
+from repro.md.box import Box
+from repro.md.kernels import (
+    BackendUnavailableError,
+    CompiledBackend,
+    NumpyFastBackend,
+    available_backends,
+    backend_diagnostics,
+    backend_spec,
+    get_backend,
+)
+from repro.md.kernels.compiled import (
+    PROVIDER_ENV_VAR,
+    compiled_available,
+    compiled_diagnostic,
+    provider_info,
+)
+from repro.md.lattice import eam_solid_system, lj_melt_system
+from repro.md.neighbor import NeighborList, cell_list_half_pairs
+from repro.md.potentials.eam import EAMAlloy
+from repro.md.potentials.lj import LennardJonesCut
+from repro.md.simulation import Simulation
+
+needs_compiled = pytest.mark.skipif(
+    not compiled_available(),
+    reason="no compiled provider (neither numba nor a C compiler works)",
+)
+
+
+# ---------------------------------------------------------------------------
+# Availability, diagnostics, and the numpy_fast fallback
+# ---------------------------------------------------------------------------
+class TestAvailabilityAndFallback:
+    def test_diagnostics_cover_every_backend(self):
+        diagnostics = backend_diagnostics()
+        assert set(diagnostics) == set(available_backends())
+        assert diagnostics["numpy_ref"] == "ok"
+        assert diagnostics["numpy_fast"] == "ok"
+
+    @needs_compiled
+    def test_diagnostic_names_the_provider(self):
+        status = compiled_diagnostic()
+        assert status.startswith("ok (provider=")
+        info = provider_info()
+        assert info is not None and info["kind"] in ("numba", "cc")
+        assert backend_diagnostics()["compiled"] == status
+
+    def test_disabled_provider_reports_why(self, monkeypatch):
+        monkeypatch.setenv(PROVIDER_ENV_VAR, "none")
+        assert not compiled_available()
+        assert provider_info() is None
+        status = backend_diagnostics()["compiled"]
+        assert status.startswith("unavailable")
+        assert "disabled via" in status
+
+    def test_constructor_raises_with_reason(self, monkeypatch):
+        monkeypatch.setenv(PROVIDER_ENV_VAR, "none")
+        with pytest.raises(BackendUnavailableError, match="disabled via"):
+            CompiledBackend()
+
+    def test_get_backend_falls_back_and_warns_once(self, monkeypatch):
+        monkeypatch.setenv(PROVIDER_ENV_VAR, "none")
+        monkeypatch.setattr(kernels_module, "_warned_fallbacks", set())
+        with pytest.warns(RuntimeWarning, match="falling back to 'numpy_fast'"):
+            backend = get_backend("compiled")
+        assert type(backend) is NumpyFastBackend
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            assert type(get_backend("compiled")) is NumpyFastBackend
+
+    def test_simulation_survives_unavailable_compiled(self, monkeypatch):
+        """An exported REPRO_KERNEL_BACKEND=compiled can never break a run."""
+        monkeypatch.setenv(PROVIDER_ENV_VAR, "none")
+        monkeypatch.setenv(kernels_module.BACKEND_ENV_VAR, "compiled")
+        monkeypatch.setattr(kernels_module, "_warned_fallbacks", set())
+        with pytest.warns(RuntimeWarning, match="unavailable"):
+            sim = Simulation(
+                lj_melt_system(256, seed=3), [LennardJonesCut(cutoff=2.5)]
+            )
+        assert sim.backend.name == "numpy_fast"
+        sim.run(2)
+        assert np.isfinite(sim.total_energy())
+
+    def test_unknown_backend_error_lists_degraded_reasons(self, monkeypatch):
+        monkeypatch.setenv(PROVIDER_ENV_VAR, "none")
+        with pytest.raises(ValueError, match="compiled: unavailable"):
+            get_backend("cuda")
+
+    @needs_compiled
+    def test_backend_spec_round_trips(self):
+        assert backend_spec(CompiledBackend()) == "compiled"
+
+
+# ---------------------------------------------------------------------------
+# Bitwise contracts vs the numpy implementations (float64)
+# ---------------------------------------------------------------------------
+@needs_compiled
+class TestBitwiseContracts:
+    def test_scatter_bitwise_vs_bincount(self):
+        rng = np.random.default_rng(5)
+        backend = CompiledBackend()
+        n, m = 64, 5000
+        idx = np.sort(rng.integers(0, n, m))
+        vals = rng.normal(size=m)
+        out = np.zeros(n)
+        backend.scatter_add_sorted(out, idx, vals)
+        assert np.array_equal(
+            out, np.bincount(idx, weights=vals, minlength=n)
+        )
+
+    def test_scatter_add_sorted_vectors_bitwise(self):
+        rng = np.random.default_rng(6)
+        backend = CompiledBackend()
+        n, m = 48, 3000
+        idx = np.sort(rng.integers(0, n, m))
+        vecs = rng.normal(size=(m, 3))
+        out = np.zeros((n, 3))
+        backend.scatter_add_sorted(out, idx, vecs)
+        for d in range(3):
+            assert np.array_equal(
+                out[:, d],
+                np.bincount(idx, weights=vecs[:, d], minlength=n),
+            )
+
+    def test_pair_geometry_bitwise_vs_numpy_fast(self):
+        rng = np.random.default_rng(11)
+        box = Box([9.0, 10.0, 11.0], periodic=(True, True, False))
+        system = AtomSystem(rng.uniform(0, 1, (400, 3)) * box.lengths, box)
+        nlist = NeighborList(2.0, 0.3)
+        nlist.build(system)
+        system.positions += rng.normal(scale=0.02, size=system.positions.shape)
+        ref = NumpyFastBackend().current_pairs(system, nlist, 2.0)
+        got = CompiledBackend().current_pairs(system, nlist, 2.0)
+        for a, b in zip(ref, got):
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "periodic", [(True, True, True), (True, False, True)]
+    )
+    def test_neighbor_build_matches_cell_list_half_pairs(self, periodic):
+        rng = np.random.default_rng(8)
+        box = Box([12.0, 11.0, 10.0], periodic=periodic)
+        positions = rng.uniform(0, 1, (1500, 3)) * box.lengths
+        pairs = CompiledBackend().neighbor_pairs(positions, box, 2.0)
+        assert pairs is not None
+        ref_i, ref_j = cell_list_half_pairs(positions, box, 2.0)
+        assert len(pairs[0]) == len(ref_i)
+        got_order = np.lexsort((pairs[1], pairs[0]))
+        ref_order = np.lexsort((ref_j, ref_i))
+        assert np.array_equal(pairs[0][got_order], ref_i[ref_order])
+        assert np.array_equal(pairs[1][got_order], ref_j[ref_order])
+
+    def test_neighborlist_csr_identical_with_kernels_attached(self):
+        rng = np.random.default_rng(9)
+        box = Box([12.0, 12.0, 12.0])
+        system = AtomSystem(rng.uniform(0, 12, (1200, 3)), box)
+        plain = NeighborList(2.0, 0.3, brute_force_max=0)
+        plain.build(system)
+        accelerated = NeighborList(2.0, 0.3, brute_force_max=0)
+        accelerated.kernels = CompiledBackend()
+        accelerated.build(system)
+        assert np.array_equal(plain.pair_i, accelerated.pair_i)
+        assert np.array_equal(plain.pair_j, accelerated.pair_j)
+        assert np.array_equal(plain.csr_offsets, accelerated.csr_offsets)
+
+    def test_build_stats_identical_with_kernels_attached(self):
+        """The native count_pairs_within feeding last_neighbors_per_atom
+        must agree exactly with the numpy stats pass."""
+        system = lj_melt_system(4000, seed=21)
+        rng = np.random.default_rng(22)
+        system.positions += rng.normal(scale=0.05, size=system.positions.shape)
+        plain = NeighborList(2.5, 0.3, brute_force_max=0)
+        plain.build(system)
+        accelerated = NeighborList(2.5, 0.3, brute_force_max=0)
+        accelerated.kernels = CompiledBackend()
+        accelerated.build(system)
+        assert (
+            accelerated.stats.last_neighbors_per_atom
+            == plain.stats.last_neighbors_per_atom
+        )
+        assert accelerated.stats.last_pairs == plain.stats.last_pairs
+
+    def test_float32_positions_use_numpy_path(self):
+        """SINGLE-policy builds stay on numpy: pair membership near the
+        cutoff is decided in float32 there, which the compiled build
+        does not replicate."""
+        rng = np.random.default_rng(3)
+        positions = rng.uniform(0, 8, (100, 3)).astype(np.float32)
+        assert (
+            CompiledBackend().neighbor_pairs(positions, Box([8.0] * 3), 2.0)
+            is None
+        )
+
+
+# ---------------------------------------------------------------------------
+# Oracle matrix: every backend x precision mode x potential family
+# ---------------------------------------------------------------------------
+def _jittered_case(kind, seed=17):
+    """A benchmark system pushed off its lattice.
+
+    The pristine lattices have near-zero forces by symmetry, which
+    makes relative force norms meaningless; a small jitter gives O(1)
+    forces to compare against the oracle.
+    """
+    if kind == "lj":
+        system = lj_melt_system(500, seed=seed)
+        potential = LennardJonesCut(cutoff=2.5)
+    else:
+        system = eam_solid_system(256, seed=seed)
+        potential = EAMAlloy()
+    rng = np.random.default_rng(seed + 1)
+    system.positions += rng.normal(scale=0.05, size=system.positions.shape)
+    return system, potential
+
+
+class TestOracleMatrix:
+    """Forces from each backend track the float64 numpy_ref oracle to
+    the precision mode's tier (1e-12 at double)."""
+
+    @pytest.mark.parametrize("kind", ["lj", "eam"])
+    @pytest.mark.parametrize("mode", ["single", "mixed", "double"])
+    @pytest.mark.parametrize(
+        "backend", ["numpy_ref", "numpy_fast", "compiled"]
+    )
+    def test_forces_within_tier(self, kind, mode, backend):
+        if backend == "compiled" and not compiled_available():
+            pytest.skip("no compiled provider on this machine")
+        system, potential = _jittered_case(kind)
+        sim = Simulation(
+            system, [potential], backend=backend, precision=mode
+        )
+        sim.setup()
+        forces = sim.system.forces.astype(np.float64)
+
+        ref_system, ref_potential = _jittered_case(kind)
+        ref = Simulation(ref_system, [ref_potential], backend="numpy_ref")
+        ref.system.positions[...] = sim.system.positions.astype(np.float64)
+        ref.setup()
+        ref_forces = np.asarray(ref.system.forces, dtype=np.float64)
+
+        err = np.linalg.norm(forces - ref_forces) / np.linalg.norm(ref_forces)
+        assert err < policy_for(mode).force_rtol
+
+    @needs_compiled
+    def test_short_lj_trajectories_agree(self):
+        trajectories = {}
+        for backend in ("numpy_fast", "compiled"):
+            sim = Simulation(
+                lj_melt_system(256, seed=77),
+                [LennardJonesCut(cutoff=2.5)],
+                dt=0.005,
+                backend=backend,
+            )
+            sim.run(20)
+            trajectories[backend] = sim.system.positions.copy()
+        np.testing.assert_allclose(
+            trajectories["compiled"],
+            trajectories["numpy_fast"],
+            rtol=1e-10,
+            atol=1e-10,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Parallel determinism: the headline compiled contract
+# ---------------------------------------------------------------------------
+@needs_compiled
+class TestParallelDeterminism:
+    def _run_parallel(self, workers, steps=6, n_atoms=2048):
+        from repro.parallel.engine import ParallelForceExecutor
+        from repro.suite import get_benchmark
+
+        sim = get_benchmark("lj").build(n_atoms)
+        assert sim.backend.name == "compiled"
+        executor = ParallelForceExecutor(workers)
+        sim.force_executor = executor
+        executor.bind(sim)
+        try:
+            sim.setup()
+            for _ in range(steps):
+                sim.step()
+            return (
+                sim.system.positions.copy(),
+                sim.potential_energy,
+                sim.system.forces.copy(),
+            )
+        finally:
+            executor.close()
+
+    def test_bitwise_identical_across_worker_counts(self, monkeypatch):
+        monkeypatch.setenv(kernels_module.BACKEND_ENV_VAR, "compiled")
+        states = {w: self._run_parallel(w) for w in (1, 2, 4)}
+        positions_1, energy_1, _ = states[1]
+        for workers in (2, 4):
+            positions, energy, _ = states[workers]
+            assert np.array_equal(positions, positions_1)
+            assert energy == energy_1
+
+    def test_parallel_matches_serial_compiled(self, monkeypatch):
+        monkeypatch.setenv(kernels_module.BACKEND_ENV_VAR, "compiled")
+        from repro.suite import get_benchmark
+
+        steps = 3
+        serial = get_benchmark("lj").build(2048)
+        serial.setup()
+        for _ in range(steps):
+            serial.step()
+        _, _, parallel_forces = self._run_parallel(2, steps=steps)
+        delta = np.abs(serial.system.forces - parallel_forces).max()
+        assert delta < 1e-10
