@@ -52,6 +52,11 @@ from repro.md.lattice import (  # noqa: E402
     lj_melt_system,
 )
 from repro.md.neighbor import NeighborList  # noqa: E402
+from repro.observability.telemetry import (  # noqa: E402
+    TelemetrySampler,
+    detect_provider,
+    platform_provenance,
+)
 from repro.md.potentials.eam import EAMAlloy  # noqa: E402
 from repro.md.potentials.granular import HookeHistory  # noqa: E402
 from repro.md.potentials.lj import LennardJonesCut  # noqa: E402
@@ -257,10 +262,20 @@ def run(
                 # Time fresh post-setup steps: no rebuild lands inside
                 # the window (half-skin takes ~25 melt steps to cross).
                 timing = _timed(sim.step, reps=step_reps)
+                # Measured energy over a separate stepping window (the
+                # telemetry sampler integrates joules even when the
+                # window is shorter than its 0.5 s period; short runs
+                # are flagged under_sampled rather than rejected).
+                sampler = TelemetrySampler(detect_provider())
+                sampler.start()
+                for _ in range(step_reps):
+                    sim.step()
+                sampler.stop()
                 _record(
                     results, verbose,
                     group="full_step", benchmark=bench, n_atoms=sim.system.n_atoms,
                     backend=backend_name, pairs=len(sim.neighbor.pair_i),
+                    energy=sampler.summary(steps=step_reps),
                     **timing,
                 )
                 if trace_dir is not None:
@@ -283,6 +298,7 @@ def run(
             "system": platform.system(),
             "kernel_backends": backend_diagnostics(),
             "compiled_provider": provider_info(),
+            "telemetry": platform_provenance(),
         },
         "requested_sizes": sizes,
         "backends": list(backends),

@@ -41,6 +41,11 @@ if str(REPO_ROOT / "src") not in sys.path:
 import numpy as np  # noqa: E402
 
 from repro.md.kernels import get_backend  # noqa: E402
+from repro.observability.telemetry import (  # noqa: E402
+    TelemetrySampler,
+    detect_provider,
+    platform_provenance,
+)
 from repro.suite import get_benchmark  # noqa: E402
 
 MODES = ("single", "mixed", "double")
@@ -69,10 +74,17 @@ def _throughput(bench_name: str, n_atoms: int, *, warmup: int, steps: int,
         sim.setup()
         sim.run(warmup)
         wall = float("inf")
+        # One telemetry window spans all reps: the sampler integrates
+        # joules over steps*reps identical steps, which averages out
+        # scheduler noise the same way best-of-reps does for wall time.
+        sampler = TelemetrySampler(detect_provider()).start()
         for _ in range(reps):
             tick = time.perf_counter()
             sim.run(steps)
             wall = min(wall, time.perf_counter() - tick)
+        sampler.stop()
+        power = sampler.summary(steps=steps * reps)
+        ts_per_s = steps / wall
         entry = {
             "group": "throughput",
             "benchmark": bench_name,
@@ -81,8 +93,18 @@ def _throughput(bench_name: str, n_atoms: int, *, warmup: int, steps: int,
             "steps": steps,
             "reps": reps,
             "wall_s": wall,
-            "ts_per_s": steps / wall,
+            "ts_per_s": ts_per_s,
             "energy": float(sim.total_energy()),
+            "joules_per_step": power["joules_per_step"],
+            "mean_watts": power["mean_watts"],
+            "ts_per_s_per_watt": (
+                ts_per_s / power["mean_watts"]
+                if power["mean_watts"] > 0
+                else 0.0
+            ),
+            "power_provider": power["provider"],
+            "power_provider_kind": power["kind"],
+            "power_under_sampled": power["under_sampled"],
         }
         out.append(entry)
         if verbose:
@@ -197,6 +219,7 @@ def run(*, smoke: bool, verbose: bool = True) -> dict:
             "numpy": np.__version__,
             "machine": platform.machine(),
             "system": platform.system(),
+            "telemetry": platform_provenance(),
         },
         "modes": list(MODES),
         "results": results,

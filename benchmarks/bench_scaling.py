@@ -60,6 +60,11 @@ from repro.md.kernels.compiled import (  # noqa: E402
     compiled_available,
     provider_info,
 )
+from repro.observability.telemetry import (  # noqa: E402
+    TelemetrySampler,
+    detect_provider,
+    platform_provenance,
+)
 from repro.parallel.engine import ParallelForceExecutor  # noqa: E402
 from repro.suite import get_benchmark  # noqa: E402
 
@@ -84,13 +89,28 @@ PARITY_TOLERANCE = 1e-10
 PARITY_SIZES = {"lj": 2048, "chain": 2000, "eam": 1372, "rhodo": 1000, "chute": 1800}
 
 
+def _energy_fields(sampler: TelemetrySampler, steps: int) -> dict:
+    """The joules/provider tags every measured window carries."""
+    summary = sampler.summary(steps=steps)
+    return {
+        "joules_per_step": summary["joules_per_step"],
+        "mean_watts": summary["mean_watts"],
+        "ts_per_s_per_watt": summary["ts_per_s_per_watt"],
+        "power_provider": summary["provider"],
+        "power_provider_kind": summary["kind"],
+        "power_under_sampled": summary["under_sampled"],
+    }
+
+
 def _serial_window(sim, steps: int) -> dict:
     timers0 = dict(sim.timers.seconds)
     builds0 = sim.neighbor.stats.n_builds
+    sampler = TelemetrySampler(detect_provider()).start()
     wall0, cpu0 = time.perf_counter(), time.process_time()
     for _ in range(steps):
         sim.step()
     wall1, cpu1 = time.perf_counter(), time.process_time()
+    sampler.stop()
     tasks = {k: sim.timers.seconds[k] - timers0[k] for k in timers0}
     return {
         "wall_s_per_step": (wall1 - wall0) / steps,
@@ -98,6 +118,7 @@ def _serial_window(sim, steps: int) -> dict:
         "pair_s_per_step": tasks["Pair"] / steps,
         "neigh_s_per_step": tasks["Neigh"] / steps,
         "builds": sim.neighbor.stats.n_builds - builds0,
+        **_energy_fields(sampler, steps),
     }
 
 
@@ -124,10 +145,12 @@ def _serial_case(
 
 def _parallel_window(sim, executor, steps: int) -> dict:
     executor.reset_timings()
+    sampler = TelemetrySampler(detect_provider()).start()
     wall0, cpu0 = time.perf_counter(), time.process_time()
     for _ in range(steps):
         sim.step()
     wall1, cpu1 = time.perf_counter(), time.process_time()
+    sampler.stop()
     measured = max(1, executor.steps_measured)
     master_cpu = (cpu1 - cpu0) / steps
     pair_cpu = executor.worker_pair_cpu_seconds / measured
@@ -140,6 +163,7 @@ def _parallel_window(sim, executor, steps: int) -> dict:
         "worker_neigh_cpu_s_per_step": neigh_cpu.tolist(),
         "critical_path_s_per_step": critical,
         "builds": executor.builds_measured,
+        **_energy_fields(sampler, steps),
     }
 
 
@@ -268,6 +292,10 @@ def run(*, quick: bool, backend: str | None = None, verbose: bool = True) -> dic
             "ts_per_s": 1.0 / window["wall_s_per_step"],
             "pair_s_per_step": window["pair_s_per_step"],
             "neigh_s_per_step": window["neigh_s_per_step"],
+            "joules_per_step": window["joules_per_step"],
+            "ts_per_s_per_watt": window["ts_per_s_per_watt"],
+            "power_provider": window["power_provider"],
+            "power_under_sampled": window["power_under_sampled"],
         }
         backend_rows.append(row)
         if verbose:
@@ -321,6 +349,7 @@ def run(*, quick: bool, backend: str | None = None, verbose: bool = True) -> dic
             "cores_available": os.cpu_count(),
             "kernel_backends": backend_diagnostics(),
             "compiled_provider": provider_info(),
+            "telemetry": platform_provenance(),
         },
         "kernel_backend": {
             "requested": backend,

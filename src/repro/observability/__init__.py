@@ -19,9 +19,15 @@ reproduction the same power over itself:
   recorded spans rather than only the analytic model.
 * :mod:`repro.observability.report` — LAMMPS-style timing tables and
   the trace-vs-timer agreement check.
+* :mod:`repro.observability.telemetry` — measured hardware power
+  sampling (RAPL / procfs / calibrated-model provider ladder) at the
+  paper's 0.5 s cadence, with per-phase joule attribution through the
+  span tracer and machine provenance for the benchmark records.
 
-Entry point: ``python -m repro trace lj --steps 50`` records one short
-experiment and writes the trace, metrics snapshot and timing table.
+Entry points: ``python -m repro trace lj --steps 50`` records one short
+experiment and writes the trace, metrics snapshot and timing table;
+``python -m repro power lj`` adds the measured per-phase energy
+breakdown and TS/s/W.
 """
 
 from repro.observability.metrics import (
@@ -35,6 +41,15 @@ from repro.observability.report import (
     render_span_table,
     render_task_table,
     trace_timer_agreement,
+)
+from repro.observability.telemetry import (
+    EnergyAttribution,
+    IntervalSample,
+    TelemetrySampler,
+    attribute_energy,
+    detect_provider,
+    platform_provenance,
+    render_energy_table,
 )
 from repro.observability.timeline import RankSpan, RankTimeline
 from repro.observability.tracer import (
@@ -63,4 +78,11 @@ __all__ = [
     "render_span_table",
     "render_agreement",
     "trace_timer_agreement",
+    "TelemetrySampler",
+    "IntervalSample",
+    "EnergyAttribution",
+    "attribute_energy",
+    "render_energy_table",
+    "detect_provider",
+    "platform_provenance",
 ]

@@ -8,11 +8,17 @@ kernel scratch growth.  The shapes follow the Prometheus conventions
 any client dependency: a snapshot is a plain JSON-safe dict, and
 :meth:`MetricsRegistry.write_snapshot` appends snapshots to a JSONL
 file so a run leaves a replayable metrics timeline next to its trace.
+
+Instruments and the registry are thread-safe: engine workers and the
+telemetry sampler update the same registry concurrently, and each
+``write_snapshot`` line is appended whole under a lock so concurrent
+writers never tear or interleave JSONL records.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from bisect import bisect_left
 from pathlib import Path
 from typing import Sequence
@@ -38,11 +44,13 @@ class Counter:
         self.name = name
         self.help = help
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only increase; use a Gauge")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def sync_total(self, total: float) -> None:
         """Adopt a cumulative total kept elsewhere (must not decrease).
@@ -51,11 +59,13 @@ class Counter:
         already cumulative; this lets the registry mirror them without
         double bookkeeping.
         """
-        if total < self.value:
-            raise ValueError(
-                f"counter {self.name!r} cannot decrease ({self.value} -> {total})"
-            )
-        self.value = float(total)
+        with self._lock:
+            if total < self.value:
+                raise ValueError(
+                    f"counter {self.name!r} cannot decrease "
+                    f"({self.value} -> {total})"
+                )
+            self.value = float(total)
 
     def snapshot(self) -> dict:
         return {"kind": self.kind, "value": self.value}
@@ -105,16 +115,18 @@ class Histogram:
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.counts[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.counts[bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -146,18 +158,20 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(self, cls, name: str, **kwargs):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name, **kwargs)
-            self._metrics[name] = metric
-        elif not isinstance(metric, cls):
-            raise TypeError(
-                f"metric {name!r} already registered as {metric.kind}, "
-                f"not {cls.kind}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"not {cls.kind}"
+                )
+            return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(Counter, name, help=help)
@@ -194,6 +208,9 @@ class MetricsRegistry:
             record["step"] = step
         record.update(extra)
         record["metrics"] = self.snapshot()
+        line = json.dumps(record) + "\n"
+        # One buffered write flushed on close: lands as a single
+        # O_APPEND write, so concurrent writers never interleave lines.
         with path.open("a") as handle:
-            handle.write(json.dumps(record) + "\n")
+            handle.write(line)
         return path

@@ -1,0 +1,209 @@
+"""Background power-sampling loop at the paper's 0.5 s cadence.
+
+:class:`TelemetrySampler` owns one :class:`~repro.observability.
+telemetry.providers.PowerProvider` and polls it from a daemon thread
+every :data:`~repro.platforms.power.SAMPLING_PERIOD_S` seconds — the
+cadence the paper's ``powerstat``/``nvidia-smi`` loop used.  Samples
+are energy *intervals* on the tracer's clock, so they can later be
+intersected with span timelines for per-phase attribution.
+
+Methodology guards (the LAMMPS time-measurement note in PAPERS.md is
+the reference for why these matter):
+
+* runs shorter than :data:`~repro.platforms.power.MIN_RUN_SECONDS`
+  still return their series but raise a loud, once-per-process
+  :class:`~repro.platforms.power.UnderSampledRunWarning`, and the
+  report carries ``under_sampled: true`` so downstream consumers can
+  gate on it;
+* ``stop()`` flushes a final partial interval, so total joules cover
+  the whole run even when it ends mid-period;
+* the provider's clock and the tracer's clock default to the same
+  ``time.perf_counter`` timebase.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.observability.telemetry.providers import (
+    IntervalSample,
+    PowerProvider,
+    detect_provider,
+)
+from repro.platforms.power import (
+    MIN_RUN_SECONDS,
+    SAMPLING_PERIOD_S,
+    warn_under_sampled,
+)
+
+__all__ = ["TelemetrySampler"]
+
+
+class TelemetrySampler:
+    """Samples a power provider on a fixed period in the background.
+
+    Parameters
+    ----------
+    provider:
+        A constructed :class:`PowerProvider`, or ``None`` to
+        auto-detect (rapl -> procfs -> model).
+    period_s:
+        Sampling period; defaults to the paper's 0.5 s.
+    metrics:
+        Optional :class:`~repro.observability.metrics.MetricsRegistry`;
+        when given, every sample updates the ``watts`` and
+        ``energy_joules`` gauges.
+    min_run_seconds:
+        Floor below which :meth:`stop` flags the run as under-sampled.
+    clock:
+        Injectable time source for tests (must match the provider's).
+    """
+
+    def __init__(
+        self,
+        provider: PowerProvider | None = None,
+        *,
+        period_s: float = SAMPLING_PERIOD_S,
+        metrics=None,
+        min_run_seconds: float = MIN_RUN_SECONDS,
+        clock=time.perf_counter,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.provider = provider if provider is not None else detect_provider(clock=clock)
+        self.period_s = float(period_s)
+        self.metrics = metrics
+        self.min_run_seconds = float(min_run_seconds)
+        self._clock = clock
+        self._samples: list[IntervalSample] = []
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._t_start: float | None = None
+        self._t_stop: float | None = None
+        self.under_sampled = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "TelemetrySampler":
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self._samples.clear()
+        self.under_sampled = False
+        self._t_stop = None
+        self.provider.reset()
+        self._t_start = self._clock()
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-telemetry", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop_event.wait(self.period_s):
+            self.sample_now()
+
+    def sample_now(self) -> IntervalSample:
+        """Take one sample synchronously (also used by the loop)."""
+        sample = self.provider.sample()
+        return self._ingest(sample)
+
+    def _ingest(self, sample: IntervalSample) -> IntervalSample:
+        with self._lock:
+            self._samples.append(sample)
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "watts", help="node power draw over the last sampling interval"
+            ).set(sample.watts)
+            self.metrics.gauge(
+                "energy_joules", help="cumulative joules drawn this run"
+            ).set(self.total_joules)
+        return sample
+
+    def stop(self) -> list[IntervalSample]:
+        """Stop the loop, flush the final partial interval, validate.
+
+        Returns the full sample series.  Short runs warn (once per
+        process) instead of silently handing back an under-sampled
+        series — the fix ISSUE 7 pins.
+        """
+        if self._thread is None:
+            raise RuntimeError("sampler not started")
+        self._stop_event.set()
+        self._thread.join()
+        self._thread = None
+        # Flush whatever the last full period did not cover (through
+        # the same path as the loop so the gauges see it too).
+        final = self.provider.sample()
+        if final.duration_s > 0:
+            self._ingest(final)
+        self._t_stop = self._clock()
+        duration = self.duration_s
+        if duration < self.min_run_seconds:
+            self.under_sampled = True
+            warn_under_sampled("TelemetrySampler", duration, self.min_run_seconds)
+        return self.samples
+
+    def __enter__(self) -> "TelemetrySampler":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> list[IntervalSample]:
+        with self._lock:
+            return list(self._samples)
+
+    @property
+    def total_joules(self) -> float:
+        with self._lock:
+            return sum(s.joules for s in self._samples)
+
+    @property
+    def duration_s(self) -> float:
+        if self._t_start is None:
+            return 0.0
+        end = self._t_stop if self._t_stop is not None else self._clock()
+        return end - self._t_start
+
+    @property
+    def mean_watts(self) -> float:
+        duration = self.duration_s
+        return self.total_joules / duration if duration > 0 else 0.0
+
+    def provenance(self) -> dict:
+        """JSON-safe record of how these numbers were produced."""
+        record = dict(self.provider.provenance())
+        record.update(
+            period_s=self.period_s,
+            n_samples=len(self.samples),
+            duration_s=self.duration_s,
+            min_run_seconds=self.min_run_seconds,
+            under_sampled=self.under_sampled,
+        )
+        return record
+
+    def summary(self, *, steps: int | None = None) -> dict:
+        """Totals plus (optionally) per-step efficiency figures."""
+        duration = self.duration_s
+        out = {
+            "joules": self.total_joules,
+            "duration_s": duration,
+            "mean_watts": self.mean_watts,
+            **self.provenance(),
+        }
+        if steps:
+            out["joules_per_step"] = self.total_joules / steps
+            ts_per_s = steps / duration if duration > 0 else 0.0
+            out["ts_per_s"] = ts_per_s
+            watts = self.mean_watts
+            out["ts_per_s_per_watt"] = ts_per_s / watts if watts > 0 else 0.0
+        return out

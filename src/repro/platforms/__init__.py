@@ -14,7 +14,12 @@ from repro.platforms.instances import (
     GpuSpec,
     InstanceSpec,
 )
-from repro.platforms.power import CpuPowerModel, GpuPowerModel, PowerSample
+from repro.platforms.power import (
+    CpuPowerModel,
+    GpuPowerModel,
+    PowerSample,
+    UnderSampledRunWarning,
+)
 
 __all__ = [
     "CpuSpec",
@@ -25,4 +30,5 @@ __all__ = [
     "CpuPowerModel",
     "GpuPowerModel",
     "PowerSample",
+    "UnderSampledRunWarning",
 ]

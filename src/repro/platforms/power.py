@@ -11,13 +11,21 @@ insists every benchmark run lasts at least ten seconds.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.platforms.instances import InstanceSpec
 
-__all__ = ["PowerSample", "CpuPowerModel", "GpuPowerModel", "PowerSampler"]
+__all__ = [
+    "PowerSample",
+    "CpuPowerModel",
+    "GpuPowerModel",
+    "PowerSampler",
+    "UnderSampledRunWarning",
+    "reset_under_sample_warnings",
+]
 
 #: The framework's fixed power sampling period (Section 4.2).
 SAMPLING_PERIOD_S = 0.5
@@ -25,6 +33,47 @@ SAMPLING_PERIOD_S = 0.5
 #: Minimum run duration the methodology requires so that enough power
 #: samples land inside the measurement window.
 MIN_RUN_SECONDS = 10.0
+
+
+class UnderSampledRunWarning(RuntimeWarning):
+    """A power-sampled run was shorter than :data:`MIN_RUN_SECONDS`.
+
+    The series is still returned — short smoke runs are legitimate — but
+    the Section 4.2 methodology (and the Gromacs energy-efficiency paper
+    it leans on) says too few 0.5 s samples make the average watts, and
+    anything derived from them, statistically meaningless.  Consumers
+    should surface the flag rather than quietly report the number.
+    """
+
+
+#: Process-wide dedup sets so the under-sampling warning fires once per
+#: call site kind, not once per benchmark window (a --quick bench run
+#: takes dozens of short windows).
+_WARNED_SITES: set[str] = set()
+
+
+def warn_under_sampled(site: str, duration_s: float, minimum: float) -> bool:
+    """Emit :class:`UnderSampledRunWarning` once per process per ``site``.
+
+    Returns ``True`` when the warning was actually raised (first time).
+    """
+    if site in _WARNED_SITES:
+        return False
+    _WARNED_SITES.add(site)
+    warnings.warn(
+        f"{site}: run lasted {duration_s:.2f} s, below the "
+        f"{minimum:.0f} s the Section 4.2 power-sampling methodology "
+        "requires — the energy/watts figures are under-sampled and "
+        "should not be compared across runs",
+        UnderSampledRunWarning,
+        stacklevel=3,
+    )
+    return True
+
+
+def reset_under_sample_warnings() -> None:
+    """Re-arm the once-per-process under-sampling warnings (tests)."""
+    _WARNED_SITES.clear()
 
 
 @dataclass(frozen=True)
@@ -110,11 +159,10 @@ class PowerSampler:
         self.noise_fraction = float(noise_fraction)
 
     def sample_run(self, mean_watts: float, duration_s: float) -> list[PowerSample]:
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
         if duration_s < MIN_RUN_SECONDS:
-            raise ValueError(
-                f"runs must last at least {MIN_RUN_SECONDS} s to collect "
-                "enough power samples (Section 4.2 methodology)"
-            )
+            warn_under_sampled("PowerSampler", duration_s, MIN_RUN_SECONDS)
         times = np.arange(0.0, duration_s, SAMPLING_PERIOD_S)
         noise = self._rng.normal(0.0, self.noise_fraction * mean_watts, len(times))
         return [

@@ -104,6 +104,65 @@ class TestRegistry:
         assert lines[0]["experiment"] == "lj"
         assert lines[1]["metrics"]["steps"]["value"] == 10.0
 
+    def test_concurrent_jsonl_snapshots_stay_line_atomic(self, tmp_path):
+        """Engine workers append snapshots to one file concurrently.
+
+        Every line must remain parseable JSON with its writer's tag —
+        no interleaved or torn records.
+        """
+        import threading
+
+        path = tmp_path / "metrics.jsonl"
+        n_workers, n_snaps = 4, 25
+        barrier = threading.Barrier(n_workers)
+
+        def worker(wid: int) -> None:
+            registry = MetricsRegistry()
+            counter = registry.counter("steps")
+            barrier.wait()
+            for i in range(n_snaps):
+                counter.inc()
+                registry.write_snapshot(path, step=i, worker=wid)
+
+        threads = [
+            threading.Thread(target=worker, args=(w,)) for w in range(n_workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == n_workers * n_snaps
+        per_worker: dict[int, list[int]] = {}
+        for rec in lines:
+            per_worker.setdefault(rec["worker"], []).append(rec["step"])
+            assert rec["metrics"]["steps"]["value"] == rec["step"] + 1
+        for wid in range(n_workers):
+            assert sorted(per_worker[wid]) == list(range(n_snaps))
+
+    def test_concurrent_increments_on_shared_registry(self, tmp_path):
+        """A single registry hammered from threads loses no increments."""
+        import threading
+
+        registry = MetricsRegistry()
+        counter = registry.counter("ops")
+
+        def worker() -> None:
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000.0
+        path = tmp_path / "final.jsonl"
+        registry.write_snapshot(path, step=0)
+        rec = json.loads(path.read_text())
+        assert rec["metrics"]["ops"]["value"] == 8000.0
+
 
 class TestSimulationMetrics:
     def test_run_populates_engine_metrics(self):

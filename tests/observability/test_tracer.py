@@ -184,6 +184,37 @@ class TestNullTracer:
         null_seconds = time.perf_counter() - start
         assert null_seconds < 0.05 * run_seconds
 
+    def test_span_returns_shared_singleton_no_allocation(self):
+        """span() must not allocate per call — one shared inert object."""
+        tracer = NullTracer()
+        first = tracer.span("Pair", "task")
+        for name in ("Neigh", "Comm", "Kspace"):
+            assert tracer.span(name, "task") is first
+        assert NULL_TRACER.span("x") is first
+
+    def test_null_tracer_is_a_process_wide_singleton_default(self):
+        """Separate simulations share NULL_TRACER — no per-sim state."""
+        a = Simulation(
+            lj_melt_system(108, seed=1), [LennardJonesCut(cutoff=2.5)],
+            dt=0.005, skin=0.3,
+        )
+        b = Simulation(
+            lj_melt_system(108, seed=2), [LennardJonesCut(cutoff=2.5)],
+            dt=0.005, skin=0.3,
+        )
+        assert a.tracer is b.tracer is NULL_TRACER
+        assert not hasattr(NULL_TRACER, "__dict__")  # __slots__: no state
+
+    def test_null_tracer_survives_heavy_misuse_without_state(self):
+        """Unbalanced begin/end on the null tracer must stay inert."""
+        tracer = NullTracer()
+        for _ in range(100):
+            tracer.end()
+        for _ in range(100):
+            tracer.begin("x", "task")
+        tracer.reset()
+        assert tracer.enabled is False
+
 
 class TestSimulationIntegration:
     def test_traced_run_records_step_task_and_kernel_spans(self):

@@ -10,6 +10,8 @@ from repro.platforms.power import (
     CpuPowerModel,
     GpuPowerModel,
     PowerSampler,
+    UnderSampledRunWarning,
+    reset_under_sample_warnings,
 )
 
 
@@ -102,10 +104,26 @@ class TestPowerSampler:
         assert len(samples) == int(10.0 / SAMPLING_PERIOD_S)
         assert samples[1].time_s - samples[0].time_s == pytest.approx(0.5)
 
-    def test_short_run_rejected(self):
-        """Section 4.2: runs must last >= 10 s for power sampling."""
-        with pytest.raises(ValueError, match="at least"):
-            PowerSampler().sample_run(200.0, MIN_RUN_SECONDS / 2)
+    def test_short_run_warns_but_returns_series(self):
+        """Section 4.2: runs shorter than 10 s are flagged, not rejected."""
+        reset_under_sample_warnings()
+        with pytest.warns(UnderSampledRunWarning, match="5.00 s"):
+            samples = PowerSampler().sample_run(200.0, MIN_RUN_SECONDS / 2)
+        assert len(samples) == int((MIN_RUN_SECONDS / 2) / SAMPLING_PERIOD_S)
+
+    def test_short_run_warning_fires_once_per_process(self):
+        reset_under_sample_warnings()
+        with pytest.warns(UnderSampledRunWarning):
+            PowerSampler().sample_run(200.0, 1.0)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UnderSampledRunWarning)
+            PowerSampler().sample_run(200.0, 1.0)
+
+    def test_zero_duration_still_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            PowerSampler().sample_run(200.0, 0.0)
 
     def test_average_recovers_mean(self):
         sampler = PowerSampler(seed=2)

@@ -11,6 +11,8 @@ PACKAGES = (
     "repro.md.kspace",
     "repro.suite",
     "repro.platforms",
+    "repro.observability",
+    "repro.observability.telemetry",
     "repro.perfmodel",
     "repro.parallel",
     "repro.gpu",
