@@ -50,11 +50,13 @@ if str(REPO_ROOT / "src") not in sys.path:
 import numpy as np  # noqa: E402
 
 from repro.md.kernels import (  # noqa: E402
+    AUTO_BACKEND,
     BACKEND_ENV_VAR,
     available_backends,
     backend_diagnostics,
     backend_spec,
     get_backend,
+    resolve_auto_backend,
 )
 from repro.md.kernels.compiled import (  # noqa: E402
     compiled_available,
@@ -65,6 +67,7 @@ from repro.observability.telemetry import (  # noqa: E402
     detect_provider,
     platform_provenance,
 )
+from repro.platforms.power import MIN_RUN_SECONDS  # noqa: E402
 from repro.parallel.engine import ParallelForceExecutor  # noqa: E402
 from repro.suite import get_benchmark  # noqa: E402
 
@@ -102,29 +105,42 @@ def _energy_fields(sampler: TelemetrySampler, steps: int) -> dict:
     }
 
 
-def _serial_window(sim, steps: int) -> dict:
+def _serial_window(sim, steps: int, min_seconds: float = 0.0) -> dict:
+    """Time >= ``steps`` steps; keep stepping until ``min_seconds``.
+
+    The extension is what lets full (non-quick) runs clear the power
+    methodology's 10 s floor instead of shipping every energy record
+    flagged ``power_under_sampled``; per-step figures divide by the
+    steps actually taken, so the timing semantics are unchanged.
+    """
     timers0 = dict(sim.timers.seconds)
     builds0 = sim.neighbor.stats.n_builds
     sampler = TelemetrySampler(detect_provider()).start()
     wall0, cpu0 = time.perf_counter(), time.process_time()
-    for _ in range(steps):
-        sim.step()
+    done = 0
+    while True:
+        for _ in range(steps):
+            sim.step()
+        done += steps
+        if time.perf_counter() - wall0 >= min_seconds:
+            break
     wall1, cpu1 = time.perf_counter(), time.process_time()
     sampler.stop()
     tasks = {k: sim.timers.seconds[k] - timers0[k] for k in timers0}
     return {
-        "wall_s_per_step": (wall1 - wall0) / steps,
-        "cpu_s_per_step": (cpu1 - cpu0) / steps,
-        "pair_s_per_step": tasks["Pair"] / steps,
-        "neigh_s_per_step": tasks["Neigh"] / steps,
+        "wall_s_per_step": (wall1 - wall0) / done,
+        "cpu_s_per_step": (cpu1 - cpu0) / done,
+        "pair_s_per_step": tasks["Pair"] / done,
+        "neigh_s_per_step": tasks["Neigh"] / done,
         "builds": sim.neighbor.stats.n_builds - builds0,
-        **_energy_fields(sampler, steps),
+        "steps_measured": done,
+        **_energy_fields(sampler, done),
     }
 
 
 def _serial_case(
     name: str, n_atoms: int, warmup: int, steps: int, windows: int,
-    backend: str | None = None,
+    backend: str | None = None, min_seconds: float = 0.0,
 ):
     sim = get_benchmark(name).build(n_atoms)
     if backend is not None:
@@ -132,7 +148,9 @@ def _serial_case(
     sim.setup()
     for _ in range(warmup):
         sim.step()
-    samples = [_serial_window(sim, steps) for _ in range(windows)]
+    samples = [
+        _serial_window(sim, steps, min_seconds) for _ in range(windows)
+    ]
     # Best (minimum-CPU) window: on a time-sliced host, contention only
     # ever inflates CPU time, so the minimum is the honest estimate.
     best = dict(min(samples, key=lambda s: s["cpu_s_per_step"]))
@@ -143,14 +161,22 @@ def _serial_case(
     return sim, best
 
 
-def _parallel_window(sim, executor, steps: int) -> dict:
+def _parallel_window(
+    sim, executor, steps: int, min_seconds: float = 0.0
+) -> dict:
     executor.reset_timings()
     sampler = TelemetrySampler(detect_provider()).start()
     wall0, cpu0 = time.perf_counter(), time.process_time()
-    for _ in range(steps):
-        sim.step()
+    done = 0
+    while True:
+        for _ in range(steps):
+            sim.step()
+        done += steps
+        if time.perf_counter() - wall0 >= min_seconds:
+            break
     wall1, cpu1 = time.perf_counter(), time.process_time()
     sampler.stop()
+    steps = done
     measured = max(1, executor.steps_measured)
     master_cpu = (cpu1 - cpu0) / steps
     pair_cpu = executor.worker_pair_cpu_seconds / measured
@@ -163,12 +189,14 @@ def _parallel_window(sim, executor, steps: int) -> dict:
         "worker_neigh_cpu_s_per_step": neigh_cpu.tolist(),
         "critical_path_s_per_step": critical,
         "builds": executor.builds_measured,
+        "steps_measured": steps,
         **_energy_fields(sampler, steps),
     }
 
 
 def _parallel_case(
-    name: str, n_atoms: int, workers: int, warmup: int, steps: int, windows: int
+    name: str, n_atoms: int, workers: int, warmup: int, steps: int,
+    windows: int, min_seconds: float = 0.0,
 ):
     sim = get_benchmark(name).build(n_atoms)
     executor = ParallelForceExecutor(workers, quasi_2d=(name == "chute"))
@@ -178,7 +206,10 @@ def _parallel_case(
         sim.setup()
         for _ in range(warmup):
             sim.step()
-        samples = [_parallel_window(sim, executor, steps) for _ in range(windows)]
+        samples = [
+            _parallel_window(sim, executor, steps, min_seconds)
+            for _ in range(windows)
+        ]
         best = dict(
             min(samples, key=lambda s: s["critical_path_s_per_step"])
         )
@@ -213,13 +244,19 @@ def run(*, quick: bool, backend: str | None = None, verbose: bool = True) -> dic
     parity_results: list[dict] = []
 
     # Pin the requested backend for every simulation this process (and
-    # its worker processes) builds.  get_backend degrades an unavailable
-    # optional backend to numpy_fast with a warning, so "resolved"
-    # records what actually ran.
-    if backend is not None:
-        os.environ[BACKEND_ENV_VAR] = backend
+    # its worker processes) builds.  The default request is now "auto":
+    # the serial record runs the compiled backend wherever a native
+    # provider passes its smoke test instead of silently timing
+    # numpy_fast on compiled-capable hosts.  get_backend degrades an
+    # unavailable optional backend to numpy_fast with a warning, so
+    # "resolved" records what actually ran.
+    if backend is None:
+        backend = AUTO_BACKEND
+    os.environ[BACKEND_ENV_VAR] = backend
     resolved = backend_spec(get_backend(backend))
-    if verbose and backend not in (None, resolved):
+    if verbose and backend == AUTO_BACKEND:
+        print(f"backend auto -> {resolved!r}", flush=True)
+    elif verbose and backend != resolved:
         print(
             f"requested backend {backend!r} unavailable "
             f"({backend_diagnostics().get(backend)}); running {resolved!r}",
@@ -233,10 +270,17 @@ def run(*, quick: bool, backend: str | None = None, verbose: bool = True) -> dic
     worker_counts = [2] if quick else [1, 2, 4]
     warmup, steps = (2, 6) if quick else (3, 12)
     windows = 2
+    # Full runs stretch each measured window past the power
+    # methodology's floor so energy records stop shipping
+    # power_under_sampled; quick (CI) runs stay short and keep the
+    # flag honestly true.
+    min_seconds = 0.0 if quick else MIN_RUN_SECONDS
 
     if verbose:
         print(f"[scaling lj n={scaling_atoms}]", flush=True)
-    serial_sim, serial = _serial_case("lj", scaling_atoms, warmup, steps, windows)
+    serial_sim, serial = _serial_case(
+        "lj", scaling_atoms, warmup, steps, windows, min_seconds=min_seconds
+    )
     serial["benchmark"] = "lj"
     serial["n_atoms"] = serial_sim.system.n_atoms
     if verbose:
@@ -250,7 +294,8 @@ def run(*, quick: bool, backend: str | None = None, verbose: bool = True) -> dic
 
     for workers in worker_counts:
         parallel_sim, entry = _parallel_case(
-            "lj", scaling_atoms, workers, warmup, steps, windows
+            "lj", scaling_atoms, workers, warmup, steps, windows,
+            min_seconds=min_seconds,
         )
         entry["benchmark"] = "lj"
         entry["n_atoms"] = parallel_sim.system.n_atoms
@@ -283,7 +328,8 @@ def run(*, quick: bool, backend: str | None = None, verbose: bool = True) -> dic
         if name == "compiled" and not compiled_available():
             continue
         sim, window = _serial_case(
-            "lj", scaling_atoms, warmup, steps, windows, backend=name
+            "lj", scaling_atoms, warmup, steps, windows, backend=name,
+            min_seconds=min_seconds,
         )
         row = {
             "backend": name,
@@ -354,6 +400,7 @@ def run(*, quick: bool, backend: str | None = None, verbose: bool = True) -> dic
         "kernel_backend": {
             "requested": backend,
             "resolved": resolved,
+            "auto_resolves_to": resolve_auto_backend(),
         },
         "methodology": (
             "warmup steps excluded; best of repeated measurement windows "
@@ -385,10 +432,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=available_backends(),
+        choices=(*available_backends(), AUTO_BACKEND),
         default=None,
-        help="kernel backend for every engine in the run (default: "
-        f"${BACKEND_ENV_VAR} or the engine default)",
+        help="kernel backend for every engine in the run (default: auto — "
+        "compiled when a native provider works, else numpy_fast)",
     )
     args = parser.parse_args(argv)
 

@@ -19,7 +19,12 @@ so that the same potentials run on interchangeable implementations:
 
 Selection order: an explicit ``Simulation(backend=...)`` argument wins,
 then the ``REPRO_KERNEL_BACKEND`` environment variable, then
-:data:`DEFAULT_BACKEND`.
+:data:`DEFAULT_BACKEND`.  The meta-name ``auto`` (valid in both the
+argument and the environment variable) resolves to ``compiled`` when a
+native provider passes its smoke test and to ``numpy_fast`` otherwise —
+the fastest backend the machine can actually run, without the silent
+numpy default that benchmark records used to hide on compiled-capable
+hosts.
 """
 
 from __future__ import annotations
@@ -42,7 +47,9 @@ __all__ = [
     "CompiledBackend",
     "BackendUnavailableError",
     "DEFAULT_BACKEND",
+    "AUTO_BACKEND",
     "BACKEND_ENV_VAR",
+    "resolve_auto_backend",
     "available_backends",
     "backend_diagnostics",
     "get_backend",
@@ -54,6 +61,9 @@ BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
 
 #: Backend used when neither an argument nor the env var selects one.
 DEFAULT_BACKEND = "numpy_fast"
+
+#: Meta-name resolving to the fastest backend this machine supports.
+AUTO_BACKEND = "auto"
 
 _REGISTRY: dict[str, type[KernelBackend]] = {
     NumpyRefBackend.name: NumpyRefBackend,
@@ -90,13 +100,28 @@ def backend_diagnostics() -> dict[str, str]:
     return diagnostics
 
 
+def resolve_auto_backend() -> str:
+    """The registry name ``auto`` stands for on this machine.
+
+    ``compiled`` when a native provider (numba or a C compiler) passes
+    its smoke test, else :data:`DEFAULT_BACKEND`.  The probe may do
+    real work on first call (JIT or invoke ``cc``); the result is
+    cached by the provider layer, so later calls are cheap.
+    """
+    from repro.md.kernels.compiled import compiled_available
+
+    return "compiled" if compiled_available() else DEFAULT_BACKEND
+
+
 def get_backend(spec: str | KernelBackend | None = None) -> KernelBackend:
     """Resolve ``spec`` into a live :class:`KernelBackend` instance.
 
     ``None`` falls back to ``$REPRO_KERNEL_BACKEND`` and then to
-    :data:`DEFAULT_BACKEND`; a string is looked up in the registry; an
-    existing backend instance passes through unchanged (so a Simulation
-    can share one scratch-carrying backend across its potentials).
+    :data:`DEFAULT_BACKEND`; ``"auto"`` resolves via
+    :func:`resolve_auto_backend`; any other string is looked up in the
+    registry; an existing backend instance passes through unchanged (so
+    a Simulation can share one scratch-carrying backend across its
+    potentials).
 
     Requesting an optional backend whose runtime support is missing
     (e.g. ``compiled`` with neither numba nor a C compiler) returns the
@@ -107,6 +132,8 @@ def get_backend(spec: str | KernelBackend | None = None) -> KernelBackend:
         return spec
     if spec is None:
         spec = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    if spec == AUTO_BACKEND:
+        spec = resolve_auto_backend()
     try:
         cls = _REGISTRY[spec]
     except KeyError:

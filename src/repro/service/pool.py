@@ -1,0 +1,215 @@
+"""Persistent service workers: the processes that execute jobs.
+
+The pool follows the shape of the parallel engine's worker machinery
+(persistent processes, explicit liveness handling) at the *job* level:
+each worker is one long-lived process with its **own task pipe** —
+assignments are explicit, so the scheduler always knows which job a
+dead worker was holding and can requeue exactly that one — and a
+per-worker event pipe carries ``started`` / ``progress`` / ``result``
+/ ``error`` events back.
+
+Why pipes and not ``multiprocessing.Queue``: queues synchronize with
+semaphores in shared memory, and a worker SIGKILLed mid-``put``/``get``
+leaves the semaphore held — wedging every other process that touches
+the queue, including the respawned replacement.  The pool's whole job
+is to *survive* SIGKILL, so each worker gets dedicated single-writer/
+single-reader pipes (no cross-process locks to orphan), and a respawn
+swaps in **fresh** pipes: whatever a dying worker half-wrote can never
+corrupt its successor's channel.  Nothing queues invisibly either —
+each worker holds at most the one task in :attr:`WorkerPool._assigned
+<repro.service.scheduler.BatchService>`'s books, which the scheduler
+requeues itself.
+
+Workers are deliberately **non-daemonic**: a job with ``workers > 1``
+spawns the parallel engine's (daemonic) worker processes underneath,
+and daemonic processes may not have children.  The pool therefore owns
+explicit teardown (:meth:`WorkerPool.close`), and the scheduler's
+liveness sweep — not process inheritance — is what cleans up after a
+crash.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import traceback
+from collections import deque
+from multiprocessing import connection
+
+from repro.service.runner import execute_job
+from repro.service.spec import JobSpec
+
+__all__ = ["WorkerPool"]
+
+#: Sentinel task telling a worker to exit its loop.
+_STOP = "__stop__"
+
+
+def _pool_worker_main(worker_id: int, tasks, events) -> None:
+    """One service worker: take a job, run it, report, repeat."""
+    while True:
+        try:
+            item = tasks.recv()
+        except (EOFError, OSError):
+            return  # scheduler side is gone; nothing left to serve
+        if item == _STOP:
+            return
+        job_id, spec_data = item
+
+        def emit(payload: dict) -> None:
+            try:
+                events.send(payload)
+            except (BrokenPipeError, OSError):
+                # The scheduler replaced this incarnation (or died);
+                # results for a superseded worker are dropped by design.
+                raise SystemExit(0) from None
+
+        emit({"kind": "started", "job": job_id, "worker": worker_id,
+              "pid": os.getpid()})
+        try:
+            spec = JobSpec.from_json(spec_data)
+            result = execute_job(
+                spec,
+                progress=lambda done, total: emit(
+                    {"kind": "progress", "job": job_id, "worker": worker_id,
+                     "done": done, "total": total}
+                ),
+                worker_id=worker_id,
+            )
+            emit({"kind": "result", "job": job_id, "worker": worker_id,
+                  "result": result.to_json()})
+        except SystemExit:
+            raise
+        except BaseException:
+            emit({"kind": "error", "job": job_id, "worker": worker_id,
+                  "error": traceback.format_exc()})
+
+
+class WorkerPool:
+    """A fixed-size pool of persistent job-executing processes.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size.  Each worker holds at most one job at a time.
+    start_method:
+        ``multiprocessing`` start method; ``fork`` where available.
+    """
+
+    def __init__(self, n_workers: int, *, start_method: str | None = None):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = int(n_workers)
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self._ctx = mp.get_context(start_method)
+        self._workers: list = [None] * self.n_workers
+        self._task_w: list = [None] * self.n_workers
+        self._event_r: list = [None] * self.n_workers
+        self._event_buffer: deque[dict] = deque()
+        #: Total processes ever spawned (respawns included).
+        self.spawned = 0
+        for worker_id in range(self.n_workers):
+            self._spawn(worker_id)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _spawn(self, worker_id: int) -> None:
+        task_r, task_w = self._ctx.Pipe(duplex=False)
+        event_r, event_w = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(worker_id, task_r, event_w),
+            daemon=False,  # jobs may spawn engine-worker children
+            name=f"repro-service-worker-{worker_id}",
+        )
+        process.start()
+        # Parent keeps only its ends; the child holds the others.
+        task_r.close()
+        event_w.close()
+        self._workers[worker_id] = process
+        self._task_w[worker_id] = task_w
+        self._event_r[worker_id] = event_r
+        self.spawned += 1
+
+    def assign(self, worker_id: int, job_id: str, spec: JobSpec) -> None:
+        """Hand one job to one specific worker.
+
+        A send to a just-died worker is swallowed: the scheduler's
+        liveness sweep will find the corpse and requeue the job.
+        """
+        try:
+            self._task_w[worker_id].send((job_id, spec.to_json()))
+        except (BrokenPipeError, OSError):
+            pass
+
+    def is_alive(self, worker_id: int) -> bool:
+        process = self._workers[worker_id]
+        return process is not None and process.is_alive()
+
+    def pid(self, worker_id: int) -> int | None:
+        process = self._workers[worker_id]
+        return None if process is None else process.pid
+
+    def respawn(self, worker_id: int) -> None:
+        """Replace a dead worker with a fresh process on fresh pipes.
+
+        The dead incarnation's pipes are dropped unread — a process
+        killed mid-send can leave a truncated message, and a fresh
+        channel is the only state a successor can trust.  Any task the
+        corpse held is the scheduler's to requeue (it tracks the one
+        in-flight job per worker).
+        """
+        process = self._workers[worker_id]
+        if process is not None:
+            process.join(timeout=1.0)
+        for conn in (self._task_w[worker_id], self._event_r[worker_id]):
+            if conn is not None:
+                conn.close()
+        self._spawn(worker_id)
+
+    def next_event(self, timeout: float = 0.1) -> dict | None:
+        """Pop one worker event, or None after ``timeout`` seconds."""
+        if self._event_buffer:
+            return self._event_buffer.popleft()
+        readers = [conn for conn in self._event_r if conn is not None]
+        if not readers:
+            return None
+        for conn in connection.wait(readers, timeout):
+            try:
+                self._event_buffer.append(conn.recv())
+            except (EOFError, OSError):
+                # Writer died; the liveness sweep owns the cleanup.
+                continue
+        return self._event_buffer.popleft() if self._event_buffer else None
+
+    # ------------------------------------------------------------------
+    def close(self, *, timeout: float = 5.0) -> None:
+        """Stop every worker (stop sentinel, then terminate stragglers)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker_id, process in enumerate(self._workers):
+            if process is not None and process.is_alive():
+                try:
+                    self._task_w[worker_id].send(_STOP)
+                except (BrokenPipeError, OSError):
+                    pass
+        for process in self._workers:
+            if process is None:
+                continue
+            process.join(timeout=timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=timeout)
+        for conn in (*self._task_w, *self._event_r):
+            if conn is not None:
+                conn.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -12,13 +12,16 @@ import pytest
 from repro.md.atoms import AtomSystem
 from repro.md.box import Box
 from repro.md.kernels import (
+    AUTO_BACKEND,
     BACKEND_ENV_VAR,
     DEFAULT_BACKEND,
     KernelBackend,
     NumpyFastBackend,
     NumpyRefBackend,
     available_backends,
+    backend_spec,
     get_backend,
+    resolve_auto_backend,
 )
 from repro.md.lattice import chute_system, eam_solid_system, lj_melt_system
 from repro.md.neighbor import NeighborList
@@ -57,6 +60,21 @@ class TestRegistry:
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="unknown kernel backend"):
             get_backend("fortran77")
+
+    def test_auto_resolves_to_best_available(self):
+        from repro.md.kernels.compiled import compiled_available
+
+        expected = "compiled" if compiled_available() else DEFAULT_BACKEND
+        assert resolve_auto_backend() == expected
+        assert backend_spec(get_backend(AUTO_BACKEND)) == expected
+
+    def test_auto_via_env_var(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, AUTO_BACKEND)
+        assert backend_spec(get_backend()) == resolve_auto_backend()
+
+    def test_auto_is_never_a_registry_name(self):
+        # "auto" must resolve before the registry lookup, not live in it.
+        assert AUTO_BACKEND not in available_backends()
 
     def test_simulation_shares_backend_with_potentials(self):
         sim = Simulation(

@@ -1,0 +1,95 @@
+"""Result-cache behavior: LRU bound, disk layer, corruption honesty."""
+
+import json
+
+from repro.observability.metrics import MetricsRegistry
+from repro.service import JobResult, ResultCache
+
+
+def result(key: str, energy: float = -1.0) -> JobResult:
+    return JobResult(
+        key=key,
+        benchmark="lj",
+        n_atoms=500,
+        steps=10,
+        seed=1,
+        precision="double",
+        backend="numpy_fast",
+        backend_provider=None,
+        total_energy=energy,
+        potential_energy=energy,
+        temperature=1.0,
+        state_digest="d" * 64,
+        wall_seconds=0.1,
+        ts_per_s=100.0,
+    )
+
+
+class TestMemoryLayer:
+    def test_miss_then_hit(self):
+        cache = ResultCache(4)
+        assert cache.get("k1") is None
+        cache.put("k1", result("k1"))
+        assert cache.get("k1").key == "k1"
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_size_bound_evicts_lru(self):
+        cache = ResultCache(3)
+        for i in range(3):
+            cache.put(f"k{i}", result(f"k{i}"))
+        cache.get("k0")  # refresh k0; k1 is now the LRU entry
+        cache.put("k3", result("k3"))
+        assert len(cache) == 3
+        assert cache.evictions == 1
+        assert "k1" not in cache
+        assert {"k0", "k2", "k3"} <= set(cache.keys())
+
+    def test_bound_holds_under_many_inserts(self):
+        cache = ResultCache(5)
+        for i in range(50):
+            cache.put(f"k{i}", result(f"k{i}"))
+        assert len(cache) == 5
+        assert cache.evictions == 45
+
+    def test_metrics_counters(self):
+        metrics = MetricsRegistry()
+        cache = ResultCache(2, metrics=metrics)
+        cache.get("nope")
+        cache.put("a", result("a"))
+        cache.get("a")
+        cache.put("b", result("b"))
+        cache.put("c", result("c"))  # evicts "a"
+        assert metrics.counter("service_cache_misses_total").value == 1
+        assert metrics.counter("service_cache_hits_total").value == 1
+        assert metrics.counter("service_cache_evictions_total").value == 1
+        assert metrics.gauge("service_cache_entries").value == 2
+
+
+class TestDiskLayer:
+    def test_roundtrip_and_promotion(self, tmp_path):
+        first = ResultCache(4, directory=tmp_path)
+        first.put("k1", result("k1", energy=-7.5))
+        # A fresh cache (new process in spirit) reads the same file.
+        second = ResultCache(4, directory=tmp_path)
+        got = second.get("k1")
+        assert got is not None and got.total_energy == -7.5
+        assert "k1" in second.keys()  # promoted into memory
+
+    def test_memory_eviction_keeps_disk_copy(self, tmp_path):
+        cache = ResultCache(1, directory=tmp_path)
+        cache.put("k1", result("k1"))
+        cache.put("k2", result("k2"))  # evicts k1 from memory only
+        assert "k1" not in cache.keys()
+        assert cache.get("k1") is not None  # served from disk
+
+    def test_corrupt_file_is_a_miss_not_a_crash(self, tmp_path):
+        cache = ResultCache(4, directory=tmp_path)
+        cache.path_for("bad").write_text("{not json")
+        assert cache.get("bad") is None
+
+    def test_disk_write_is_atomic_layout(self, tmp_path):
+        cache = ResultCache(4, directory=tmp_path)
+        cache.put("k1", result("k1"))
+        files = list(tmp_path.iterdir())
+        assert [f.name for f in files] == ["k1.json"]  # no tmp litter
+        assert json.loads(files[0].read_text())["key"] == "k1"

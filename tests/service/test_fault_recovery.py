@@ -1,0 +1,96 @@
+"""Worker death at both levels: engine workers and pool workers.
+
+The acceptance contract: a worker killed mid-job via the PR-4 fault
+plan is respawned and the job completes with a result bitwise-identical
+to an uninterrupted run of the same configuration.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.service import BatchService, JobSpec, execute_job
+
+
+def two_worker_spec(**overrides) -> JobSpec:
+    fields = dict(
+        benchmark="lj", n_atoms=150, steps=16, seed=1, workers=2,
+        checkpoint_every=4,
+    )
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+class TestEngineWorkerFault:
+    """PR-4 fault plan inside a job: ResilientRunner absorbs the kill."""
+
+    def test_killed_engine_worker_job_completes_bitwise(self):
+        interrupted = execute_job(two_worker_spec(fault_plan="kill:1:6"))
+        clean = execute_job(two_worker_spec())
+        assert interrupted.recovery_events >= 1
+        assert clean.recovery_events == 0
+        assert interrupted.state_digest == clean.state_digest
+        assert interrupted.total_energy == clean.total_energy
+
+    def test_fault_plan_shares_the_cache_address(self):
+        assert (
+            two_worker_spec(fault_plan="kill:1:6").cache_key()
+            == two_worker_spec().cache_key()
+        )
+
+    def test_faulted_job_through_the_service(self):
+        with BatchService(1, poll_seconds=0.02) as svc:
+            job = svc.submit(two_worker_spec(fault_plan="kill:0:5"))
+            result = job.result(240)
+        assert result.recovery_events >= 1
+        assert result.state_digest == execute_job(two_worker_spec()).state_digest
+
+
+class TestPoolWorkerDeath:
+    """SIGKILL to the pool worker itself: respawn + requeue."""
+
+    def test_job_survives_pool_worker_kill(self):
+        with BatchService(1, poll_seconds=0.02) as svc:
+            job = svc.submit(
+                JobSpec(benchmark="lj", n_atoms=400, steps=300, seed=1)
+            )
+            deadline = time.monotonic() + 60
+            while job.status != "running":
+                assert time.monotonic() < deadline, "job never started"
+                time.sleep(0.01)
+            time.sleep(0.2)  # let it get properly mid-job
+            os.kill(svc._pool.pid(0), signal.SIGKILL)
+            result = job.result(240)
+            respawns = svc.metrics.counter(
+                "service_worker_respawns_total"
+            ).value
+        assert job.requeues == 1
+        assert respawns >= 1
+        assert result.steps == 300
+        # Re-execution from scratch lands on the uninterrupted digest.
+        reference = execute_job(
+            JobSpec(benchmark="lj", n_atoms=400, steps=300, seed=1)
+        )
+        assert result.state_digest == reference.state_digest
+
+    def test_repeated_deaths_fail_the_job_loudly(self):
+        from repro.service import JobFailedError
+
+        with BatchService(1, poll_seconds=0.02, max_requeues=0) as svc:
+            job = svc.submit(
+                JobSpec(benchmark="lj", n_atoms=400, steps=400, seed=2)
+            )
+            deadline = time.monotonic() + 60
+            while job.status != "running":
+                assert time.monotonic() < deadline, "job never started"
+                time.sleep(0.01)
+            os.kill(svc._pool.pid(0), signal.SIGKILL)
+            with pytest.raises(JobFailedError, match="died"):
+                job.result(240)
+            # The respawned pool still serves fresh work.
+            ok = svc.submit(
+                JobSpec(benchmark="lj", n_atoms=150, steps=5, seed=3)
+            )
+            assert ok.result(240).steps == 5

@@ -1,0 +1,100 @@
+"""BatchService scheduling semantics: dedup, coalescing, lifecycle.
+
+Real jobs on a real worker pool, sized to stay fast: small LJ systems,
+a handful of steps.  The fault-path tests (worker death, recovery)
+live in ``test_fault_recovery.py``.
+"""
+
+import pytest
+
+from repro.service import (
+    BatchService,
+    JobFailedError,
+    JobSpec,
+    ServiceClosedError,
+)
+
+
+def spec(**overrides) -> JobSpec:
+    fields = dict(benchmark="lj", n_atoms=150, steps=6, seed=1)
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+@pytest.fixture(scope="module")
+def service():
+    with BatchService(2, poll_seconds=0.02) as svc:
+        yield svc
+
+
+class TestScheduling:
+    def test_job_completes_with_physics(self, service):
+        result = service.submit(spec()).result(120)
+        assert result.steps == 6
+        assert result.n_atoms > 0
+        assert len(result.state_digest) == 64
+        assert result.ts_per_s > 0
+
+    def test_inflight_duplicates_coalesce(self, service):
+        one = spec(steps=7)
+        a = service.submit(one)
+        b = service.submit(one)
+        assert a is b  # literally the same handle: one execution
+        assert a.submitters >= 2
+        assert service.metrics.counter("service_dedup_hits_total").value >= 1
+        a.result(120)
+
+    def test_completed_config_is_cache_served(self, service):
+        one = spec(steps=8)
+        first = service.submit(one).result(120)
+        again = service.submit(one).result(5)
+        assert not first.cached
+        assert again.cached
+        assert again.state_digest == first.state_digest
+
+    def test_distinct_configs_get_distinct_results(self, service):
+        a = service.submit(spec(seed=3))
+        b = service.submit(spec(seed=4))
+        assert a.key != b.key
+        assert a.result(120).state_digest != b.result(120).state_digest
+
+    def test_map_preserves_input_order(self, service):
+        specs = [spec(steps=9), spec(steps=10), spec(steps=9)]
+        results = service.map(specs, timeout=120)
+        assert [r.steps for r in results] == [9, 10, 9]
+        assert results[0].state_digest == results[2].state_digest
+
+    def test_progress_reaches_completion(self, service):
+        job = service.submit(spec(steps=11))
+        job.result(120)
+        done, total = job.progress
+        assert (done, total) == (11, 11)
+
+    def test_runtime_failure_raises_job_failed(self, service):
+        # 60 atoms make a box smaller than the LJ cutoff demands; the
+        # spec is well-formed but the build fails inside the worker.
+        job = service.submit(spec(n_atoms=60))
+        with pytest.raises(JobFailedError, match="cutoff"):
+            job.result(120)
+        # The pool survives a failing job and keeps serving.
+        assert service.submit(spec(steps=12)).result(120).steps == 12
+
+
+class TestLifecycle:
+    def test_drain_refuses_new_work_and_finishes_old(self):
+        svc = BatchService(1, poll_seconds=0.02)
+        job = svc.submit(spec(steps=20, n_atoms=400))
+        assert svc.drain(timeout=120)
+        with pytest.raises(ServiceClosedError):
+            svc.submit(spec(steps=21))
+        assert job.done() and job.result(0).steps == 20
+        svc.close()
+
+    def test_metrics_flow_through_registry(self):
+        with BatchService(1, poll_seconds=0.02) as svc:
+            svc.submit(spec(steps=13)).result(120)
+            snapshot = svc.metrics.snapshot()
+        assert snapshot["service_jobs_submitted_total"]["value"] == 1
+        assert snapshot["service_jobs_completed_total"]["value"] == 1
+        assert snapshot["service_job_seconds"]["count"] == 1
+        assert "service_queue_depth" in snapshot

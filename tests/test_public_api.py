@@ -15,6 +15,7 @@ PACKAGES = (
     "repro.observability.telemetry",
     "repro.perfmodel",
     "repro.parallel",
+    "repro.service",
     "repro.gpu",
     "repro.core",
     "repro.figures",
