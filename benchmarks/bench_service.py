@@ -106,6 +106,10 @@ def _service_run(
 ) -> tuple[dict, BatchService]:
     """Push the sweep through a BatchService from N submitter threads."""
     service = BatchService(workers)
+    # Start the clock from a warm pool: spawned workers pay a one-time
+    # fresh-interpreter boot that is not throughput (and the sequential
+    # baseline pays no boot at all).
+    service.wait_ready()
     shards = [submissions[i::submitters] for i in range(submitters)]
     handles: list[list] = [[] for _ in range(submitters)]
 

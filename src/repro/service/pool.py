@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import sys
 import traceback
+import warnings
 from collections import deque
 from multiprocessing import connection
 
@@ -44,9 +46,43 @@ __all__ = ["WorkerPool"]
 #: Sentinel task telling a worker to exit its loop.
 _STOP = "__stop__"
 
+#: Consecutive deaths *before the ready handshake* after which a slot
+#: is retired instead of respawned.  A worker dying at boot will die at
+#: every boot (classic cause: a ``spawn`` child cannot re-import the
+#: host's ``__main__``), and respawning it forever is a crash loop.
+BOOT_FAILURE_LIMIT = 3
+
+
+def _spawn_can_import_main() -> bool:
+    """Whether a ``spawn`` child could re-import this host's ``__main__``.
+
+    ``spawn`` re-runs the parent's main module inside each child.  That
+    works for real script files and ``python -m`` packages, but a main
+    read from stdin (``python - <<EOF`` heredocs) advertises a
+    ``__file__`` of ``<stdin>`` that no child can open — every worker
+    would die at boot.  Mirrors the decision order of
+    ``multiprocessing.spawn.get_preparation_data``: an importable spec
+    wins, no ``__file__`` means nothing to re-run, otherwise the file
+    must actually exist.
+    """
+    main = sys.modules.get("__main__")
+    if main is None or getattr(main, "__spec__", None) is not None:
+        return True
+    path = getattr(main, "__file__", None)
+    return path is None or os.path.exists(path)
+
 
 def _pool_worker_main(worker_id: int, tasks, events) -> None:
     """One service worker: take a job, run it, report, repeat."""
+    try:
+        # Check in once the interpreter is actually up: under spawn a
+        # worker spends its first ~second importing, and callers that
+        # measure steady-state throughput wait for this handshake.
+        events.send(
+            {"kind": "ready", "worker": worker_id, "pid": os.getpid()}
+        )
+    except (BrokenPipeError, OSError):
+        return
     while True:
         try:
             item = tasks.recv()
@@ -93,7 +129,19 @@ class WorkerPool:
     n_workers:
         Pool size.  Each worker holds at most one job at a time.
     start_method:
-        ``multiprocessing`` start method; ``fork`` where available.
+        ``multiprocessing`` start method; default ``spawn``.  The host
+        process is multithreaded by construction — the scheduler thread
+        respawns workers while submitter threads run — and ``fork``
+        from a multithreaded process clones whatever locks (import
+        lock, allocator) happen to be held into a child that has no
+        thread to release them, which can deadlock the very
+        SIGKILL-recovery respawn the pool exists for.  ``spawn`` starts
+        each worker from a clean interpreter; the cost is per-(re)spawn
+        only, since workers are persistent.  Pass ``fork`` explicitly
+        to accept the risk.  When the host's ``__main__`` is not
+        importable by a spawn child (stdin-fed scripts), the default
+        falls back to ``fork`` with a :class:`RuntimeWarning` rather
+        than crash-looping every worker at boot.
     """
 
     def __init__(self, n_workers: int, *, start_method: str | None = None):
@@ -101,14 +149,28 @@ class WorkerPool:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = int(n_workers)
         if start_method is None:
-            start_method = (
-                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-            )
+            if _spawn_can_import_main():
+                start_method = "spawn"
+            else:
+                start_method = "fork"
+                warnings.warn(
+                    "this host's __main__ is not importable by spawn "
+                    "children (stdin-fed script?); falling back to the "
+                    "fork start method — forking a multithreaded "
+                    "process can deadlock children, so prefer running "
+                    "from a real script file",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         self._ctx = mp.get_context(start_method)
         self._workers: list = [None] * self.n_workers
         self._task_w: list = [None] * self.n_workers
         self._event_r: list = [None] * self.n_workers
         self._event_buffer: deque[dict] = deque()
+        #: Per-worker boot handshake received (see ``ready_count``).
+        self._ready: list[bool] = [False] * self.n_workers
+        #: Consecutive before-ready deaths per slot (see ``respawn``).
+        self._boot_failures: list[int] = [0] * self.n_workers
         #: Total processes ever spawned (respawns included).
         self.spawned = 0
         for worker_id in range(self.n_workers):
@@ -132,6 +194,7 @@ class WorkerPool:
         self._workers[worker_id] = process
         self._task_w[worker_id] = task_w
         self._event_r[worker_id] = event_r
+        self._ready[worker_id] = False
         self.spawned += 1
 
     def assign(self, worker_id: int, job_id: str, spec: JobSpec) -> None:
@@ -145,6 +208,23 @@ class WorkerPool:
         except (BrokenPipeError, OSError):
             pass
 
+    def ready_count(self) -> int:
+        """Workers whose boot handshake has been consumed so far.
+
+        Only advances while someone drains :meth:`next_event` (the
+        scheduler thread, in service use).
+        """
+        return sum(self._ready)
+
+    def retired(self, worker_id: int) -> bool:
+        """True when this slot hit the boot-failure limit and is dead
+        for good (no process, no pipes, no further respawns)."""
+        return self._workers[worker_id] is None
+
+    def usable_slots(self) -> int:
+        """Slots that still have (or can get) a live worker."""
+        return sum(process is not None for process in self._workers)
+
     def is_alive(self, worker_id: int) -> bool:
         process = self._workers[worker_id]
         return process is not None and process.is_alive()
@@ -153,7 +233,7 @@ class WorkerPool:
         process = self._workers[worker_id]
         return None if process is None else process.pid
 
-    def respawn(self, worker_id: int) -> None:
+    def respawn(self, worker_id: int) -> bool:
         """Replace a dead worker with a fresh process on fresh pipes.
 
         The dead incarnation's pipes are dropped unread — a process
@@ -161,14 +241,32 @@ class WorkerPool:
         channel is the only state a successor can trust.  Any task the
         corpse held is the scheduler's to requeue (it tracks the one
         in-flight job per worker).
+
+        Returns ``True`` when a fresh process was started.  A worker
+        that died *before its ready handshake* was consumed counts as a
+        boot failure; after :data:`BOOT_FAILURE_LIMIT` consecutive boot
+        failures the slot is **retired** (returns ``False``) instead of
+        respawned — the same death would recur at every boot, and an
+        unconditional respawn would crash-loop forever.
         """
         process = self._workers[worker_id]
         if process is not None:
             process.join(timeout=1.0)
+        if self._ready[worker_id]:
+            self._boot_failures[worker_id] = 0  # it booted; a real death
+        else:
+            self._boot_failures[worker_id] += 1
         for conn in (self._task_w[worker_id], self._event_r[worker_id]):
             if conn is not None:
                 conn.close()
+        if self._boot_failures[worker_id] >= BOOT_FAILURE_LIMIT:
+            self._workers[worker_id] = None
+            self._task_w[worker_id] = None
+            self._event_r[worker_id] = None
+            self._ready[worker_id] = False
+            return False
         self._spawn(worker_id)
+        return True
 
     def next_event(self, timeout: float = 0.1) -> dict | None:
         """Pop one worker event, or None after ``timeout`` seconds."""
@@ -179,10 +277,14 @@ class WorkerPool:
             return None
         for conn in connection.wait(readers, timeout):
             try:
-                self._event_buffer.append(conn.recv())
+                event = conn.recv()
             except (EOFError, OSError):
                 # Writer died; the liveness sweep owns the cleanup.
                 continue
+            if event.get("kind") == "ready":
+                self._ready[event["worker"]] = True  # boot handshake
+                continue
+            self._event_buffer.append(event)
         return self._event_buffer.popleft() if self._event_buffer else None
 
     # ------------------------------------------------------------------

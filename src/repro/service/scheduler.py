@@ -141,7 +141,11 @@ class BatchService:
         self._inflight: dict[str, Job] = {}
         #: worker id -> Job it is currently executing.
         self._assigned: dict[int, Job] = {}
+        #: job id -> *live* Job (pending or running).  Completed jobs
+        #: are dropped here — submitters hold their own handles — so a
+        #: long-running service does not grow without bound.
         self.jobs: dict[str, Job] = {}
+        self._jobs_seen = 0
         self._accepting = True
         self._stop = threading.Event()
         self._scheduler = threading.Thread(
@@ -162,18 +166,24 @@ class BatchService:
             self.metrics.counter("service_jobs_submitted_total").inc()
             cached = self.cache.get(key)
             if cached is not None:
+                self._jobs_seen += 1
                 job = Job(f"job-{uuid.uuid4().hex[:8]}", spec, key)
                 served = JobResult.from_json(cached.to_json())
                 served.cached = True
                 job._finish(served)
                 self.metrics.counter("service_jobs_completed_total").inc()
-                self.jobs[job.id] = job
                 return job
             running = self._inflight.get(key)
             if running is not None:
                 running.submitters += 1
                 self.metrics.counter("service_dedup_hits_total").inc()
                 return running
+            if self._pool.usable_slots() == 0:
+                raise ServiceClosedError(
+                    "no usable pool workers: every slot was retired after"
+                    " repeated boot failures"
+                )
+            self._jobs_seen += 1
             job = Job(f"job-{uuid.uuid4().hex[:8]}", spec, key)
             self._inflight[key] = job
             self.jobs[job.id] = job
@@ -240,43 +250,85 @@ class BatchService:
             self.metrics.counter("service_jobs_completed_total").inc(
                 job.submitters
             )
-            self._retire(worker_id, job)
+            # Complete the handle *before* retiring: drain() unblocks
+            # on retire, and its callers must then see done() handles.
             job._finish(result)
+            self._retire(worker_id, job)
         elif kind == "error":
             self.metrics.counter("service_jobs_failed_total").inc()
-            self._retire(worker_id, job)
             job._fail(event.get("error", "unknown worker error"))
+            self._retire(worker_id, job)
 
     def _retire(self, worker_id: int, job: Job) -> None:
         with self._lock:
             self._assigned.pop(worker_id, None)
             self._inflight.pop(job.key, None)
+            self.jobs.pop(job.id, None)
             self._gauge_depths()
 
     def _sweep_liveness(self) -> None:
-        """Respawn dead pool workers; requeue the jobs they held."""
+        """Respawn dead pool workers; requeue the jobs they held.
+
+        The held job stays in ``_assigned`` until its fate (requeue or
+        fail) is decided, so ``pending()`` never reads 0 mid-respawn —
+        a drain racing a worker death must keep waiting.  Safe because
+        the scheduler thread is the only event consumer: no result for
+        this job can be processed while the sweep holds it.
+        """
         for worker_id in range(self._pool.n_workers):
-            if self._pool.is_alive(worker_id):
+            if self._pool.retired(worker_id) or self._pool.is_alive(worker_id):
                 continue
             with self._lock:
-                job = self._assigned.pop(worker_id, None)
-            self._pool.respawn(worker_id)
-            self.metrics.counter("service_worker_respawns_total").inc()
+                job = self._assigned.get(worker_id)
+            if self._pool.respawn(worker_id):
+                self.metrics.counter("service_worker_respawns_total").inc()
+            else:
+                # Slot retired: the worker kept dying before it could
+                # boot.  If no slot remains, nothing will ever execute
+                # again — fail the whole queue loudly rather than hang.
+                self.metrics.counter("service_worker_slots_retired_total").inc()
+                if self._pool.usable_slots() == 0:
+                    self._fail_all_jobs(
+                        "every pool worker slot was retired after repeated"
+                        " boot failures (workers died before their ready"
+                        " handshake); classic cause: the host __main__ is"
+                        " not importable under the spawn start method"
+                    )
+                    continue
             if job is None:
                 continue
             job.requeues += 1
             if job.requeues > self.max_requeues:
                 self.metrics.counter("service_jobs_failed_total").inc()
-                with self._lock:
-                    self._inflight.pop(job.key, None)
                 job._fail(
                     f"pool worker died {job.requeues} times running {job.id}"
                 )
+                with self._lock:
+                    self._assigned.pop(worker_id, None)
+                    self._inflight.pop(job.key, None)
+                    self.jobs.pop(job.id, None)
+                    self._gauge_depths()
                 continue
             with self._lock:
+                self._assigned.pop(worker_id, None)
                 job.status = "pending"
                 self._pending.appendleft(job)  # retries jump the queue
                 self._gauge_depths()
+
+    def _fail_all_jobs(self, reason: str) -> None:
+        """Scheduler thread only: fail every queued and assigned job."""
+        with self._lock:
+            doomed = list(self._pending) + list(self._assigned.values())
+        for job in doomed:
+            self.metrics.counter("service_jobs_failed_total").inc()
+            job._fail(reason)
+        with self._lock:
+            self._pending.clear()
+            self._assigned.clear()
+            self._inflight.clear()
+            for job in doomed:
+                self.jobs.pop(job.id, None)
+            self._gauge_depths()
 
     def _gauge_depths(self) -> None:
         """Lock held: refresh the queue-shape gauges."""
@@ -289,6 +341,21 @@ class BatchService:
     def pending(self) -> int:
         with self._lock:
             return len(self._pending) + len(self._assigned)
+
+    def wait_ready(self, timeout: float = 120.0) -> bool:
+        """Block until every pool worker has booted and checked in.
+
+        Spawned workers pay a fresh-interpreter start before they can
+        take work; throughput measurements call this first so the
+        timed window starts from a warm pool.  Submission does not
+        require it — jobs queue fine against a booting pool.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self._pool.ready_count() >= self._pool.n_workers:
+                return True
+            time.sleep(self._poll)
+        return False
 
     def drain(self, timeout: float = 300.0) -> bool:
         """Stop accepting work; wait for in-flight jobs to finish."""
@@ -327,7 +394,8 @@ class BatchService:
             "running": running,
             "workers": self._pool.n_workers,
             "worker_respawns": self._pool.spawned - self._pool.n_workers,
-            "jobs_seen": len(self.jobs),
+            "jobs_seen": self._jobs_seen,
+            "jobs_live": len(self.jobs),
             "cache": self.cache.stats(),
             "metrics": self.metrics.snapshot(),
         }

@@ -198,7 +198,20 @@ class JobSpec:
     # Wire format (spool files, worker payloads)
     # ------------------------------------------------------------------
     def to_json(self) -> dict[str, Any]:
-        return {k: v for k, v in asdict(self).items() if v is not None}
+        """Wire form for spool files and worker payloads.
+
+        A ``None`` may only be elided when the field's default is also
+        ``None`` — ``steps`` defaults to 100, so ``steps=None`` (a deck
+        job using the deck's own run count) must travel explicitly or
+        ``from_json`` would resurrect it as 100 and the worker would
+        run the wrong job under the submit-side cache key.
+        """
+        fields = type(self).__dataclass_fields__
+        return {
+            k: v
+            for k, v in asdict(self).items()
+            if not (v is None and fields[k].default is None)
+        }
 
     @classmethod
     def from_json(cls, data: dict[str, Any]) -> "JobSpec":

@@ -25,6 +25,18 @@ directory holds four subdirectories:
 Graceful drain: on SIGTERM/SIGINT the server stops claiming, lets
 in-flight jobs finish, answers their tickets, and exits; unclaimed
 ``pending/`` files survive untouched for the next server.
+
+Claimed files are deleted once their ticket is answered, so anything
+left in ``claimed/`` is a job that never produced a reply.  Two paths
+recover those instead of losing them: a starting server moves
+unanswered claims back to ``pending/`` (a SIGKILLed predecessor's
+in-flight work reruns instead of silently timing out the client), and
+a draining server whose drain *times out* returns its still-open
+claims the same way.  The recovery assumes claims found at startup are
+orphaned — with several servers deliberately sharing one spool, a new
+server can requeue a ticket a live sibling is still running; results
+are content-cached, so the cost is a wasted execution, never a wrong
+answer.
 """
 
 from __future__ import annotations
@@ -117,6 +129,7 @@ class SpoolServer:
         self._open: dict[str, Job] = {}
         self.answered = 0
         self._stop = threading.Event()
+        self._recover_claimed()
 
     # ------------------------------------------------------------------
     def request_stop(self, *_args) -> None:
@@ -128,6 +141,23 @@ class SpoolServer:
         signal.signal(signal.SIGINT, self.request_stop)
 
     # ------------------------------------------------------------------
+    def _recover_claimed(self) -> None:
+        """Put orphaned claims back into circulation.
+
+        A claim whose ticket was answered is a leftover to delete; one
+        without an answer belonged to a server that died (or drained
+        out) mid-job — return it to ``pending/`` so it runs again
+        rather than leaving its client to time out.
+        """
+        for path in sorted(self.layout["claimed"].glob("*.json")):
+            try:
+                if (self.layout["tickets"] / path.name).exists():
+                    path.unlink()
+                else:
+                    os.replace(path, self.layout["pending"] / path.name)
+            except FileNotFoundError:
+                continue  # raced another recovering server
+
     def _claim_pending(self) -> None:
         for path in sorted(self.layout["pending"].glob("*.json")):
             claimed = self.layout["claimed"] / path.name
@@ -167,6 +197,11 @@ class SpoolServer:
             reply["status"] = "failed"
             reply["error"] = str(error)
         _atomic_write_json(self.layout["tickets"] / f"{ticket}.json", reply)
+        claimed = self.layout["claimed"] / f"{ticket}.json"
+        try:
+            claimed.unlink()  # answered: the claim is spent
+        except FileNotFoundError:
+            pass
         self.answered += 1
 
     # ------------------------------------------------------------------
@@ -189,3 +224,13 @@ class SpoolServer:
         # Drain: no new claims; finish and answer what is in flight.
         self.service.drain()
         self._answer_done()
+        # Drain timed out with jobs still unfinished: hand their claims
+        # back to pending/ so the next server completes them instead of
+        # the tickets silently dying with this process.
+        for ticket in list(self._open):
+            self._open.pop(ticket)
+            claimed = self.layout["claimed"] / f"{ticket}.json"
+            try:
+                os.replace(claimed, self.layout["pending"] / claimed.name)
+            except FileNotFoundError:
+                pass

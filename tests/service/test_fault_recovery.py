@@ -12,6 +12,7 @@ import time
 import pytest
 
 from repro.service import BatchService, JobSpec, execute_job
+from repro.service.pool import BOOT_FAILURE_LIMIT, WorkerPool
 
 
 def two_worker_spec(**overrides) -> JobSpec:
@@ -46,6 +47,53 @@ class TestEngineWorkerFault:
             result = job.result(240)
         assert result.recovery_events >= 1
         assert result.state_digest == execute_job(two_worker_spec()).state_digest
+
+
+class TestStartMethodProbe:
+    """Stdin-fed hosts can't serve spawn children; the default adapts."""
+
+    def test_pytest_host_is_spawn_safe(self):
+        from repro.service.pool import _spawn_can_import_main
+
+        assert _spawn_can_import_main()
+
+    def test_stdin_main_falls_back_to_fork(self, monkeypatch):
+        import sys
+        import types
+
+        from repro.service.pool import _spawn_can_import_main
+
+        fake = types.ModuleType("__main__")
+        fake.__file__ = "<stdin>"
+        monkeypatch.setitem(sys.modules, "__main__", fake)
+        assert not _spawn_can_import_main()
+        with pytest.warns(RuntimeWarning, match="not importable by spawn"):
+            pool = WorkerPool(1)
+        try:
+            assert pool._ctx.get_start_method() == "fork"
+        finally:
+            pool.close()
+
+
+class TestBootCrashLoop:
+    """A worker dying before its ready handshake must not respawn forever."""
+
+    def test_slot_retires_after_repeated_boot_failures(self):
+        pool = WorkerPool(1)
+        try:
+            # Nothing drains next_event here, so the ready handshake is
+            # never consumed: every death counts as a boot failure.
+            respawned = True
+            for _ in range(BOOT_FAILURE_LIMIT):
+                assert not pool.retired(0)
+                os.kill(pool.pid(0), signal.SIGKILL)
+                pool._workers[0].join()
+                respawned = pool.respawn(0)
+            assert not respawned
+            assert pool.retired(0)
+            assert pool.usable_slots() == 0
+        finally:
+            pool.close()
 
 
 class TestPoolWorkerDeath:

@@ -90,6 +90,11 @@ class TestLifecycle:
         assert job.done() and job.result(0).steps == 20
         svc.close()
 
+    def test_wait_ready_reports_booted_pool(self):
+        with BatchService(1, poll_seconds=0.02) as svc:
+            assert svc.wait_ready(timeout=120)
+            assert svc._pool.ready_count() == 1
+
     def test_metrics_flow_through_registry(self):
         with BatchService(1, poll_seconds=0.02) as svc:
             svc.submit(spec(steps=13)).result(120)

@@ -170,3 +170,13 @@ class TestValidation:
     def test_wire_roundtrip(self):
         spec = base_spec(workers=2, tag="t", backend="numpy_fast")
         assert JobSpec.from_json(spec.to_json()) == spec
+
+    def test_wire_roundtrip_preserves_deck_steps_none(self):
+        # steps=None has a non-None default (100): the wire form must
+        # carry it explicitly, or the worker runs 100 steps and the
+        # wrong result is cached under the steps=None address.
+        spec = JobSpec(deck=DECK, steps=None)
+        wired = JobSpec.from_json(spec.to_json())
+        assert wired.steps is None
+        assert wired == spec
+        assert wired.cache_key() == spec.cache_key()

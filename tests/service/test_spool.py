@@ -1,12 +1,14 @@
 """Spool transport: the serve/submit file protocol, including drain."""
 
 import json
+import os
 import threading
 import time
 
 import pytest
 
 from repro.service import BatchService, JobSpec, SpoolClient, SpoolServer
+from repro.service.spool import spool_layout
 
 
 def spec(**overrides) -> JobSpec:
@@ -56,12 +58,18 @@ class TestRoundTrip:
         with pytest.raises(RuntimeError, match="failed"):
             client.wait(ticket, timeout=120)
 
-    def test_claim_moves_the_pending_file(self, spool):
+    def test_claim_is_spent_after_answer(self, spool):
         root, _server = spool
         client = SpoolClient(root)
         client.run(spec(steps=7), timeout=120)
         assert list((root / "pending").glob("*.json")) == []
-        assert len(list((root / "claimed").glob("*.json"))) >= 1
+        # The claimed file is deleted once the ticket is answered (the
+        # unlink lands just after the reply write, hence the grace
+        # loop) — a surviving claim would mean an unanswered job.
+        deadline = time.monotonic() + 5
+        while list((root / "claimed").glob("*.json")):
+            assert time.monotonic() < deadline, "claim never cleaned up"
+            time.sleep(0.02)
 
 
 class TestDrain:
@@ -80,6 +88,37 @@ class TestDrain:
         late = client.submit(spec(steps=9))
         server.step()
         assert (tmp_path / "s" / "pending" / f"{late}.json").exists()
+        svc.close()
+
+    def test_orphaned_claim_is_recovered_on_startup(self, tmp_path):
+        # A server SIGKILLed mid-job leaves its claim behind with no
+        # answer; a fresh server must requeue it, not lose the ticket.
+        root = tmp_path / "s"
+        client = SpoolClient(root)
+        ticket = client.submit(spec(steps=14))
+        os.replace(
+            root / "pending" / f"{ticket}.json",
+            root / "claimed" / f"{ticket}.json",
+        )
+        svc = BatchService(1, poll_seconds=0.02)
+        server = SpoolServer(root, svc, poll=0.02)
+        assert (root / "pending" / f"{ticket}.json").exists()
+        deadline = time.monotonic() + 120
+        while not (root / "tickets" / f"{ticket}.json").exists():
+            assert time.monotonic() < deadline, "ticket never answered"
+            server.step()
+            time.sleep(0.02)
+        assert client.wait(ticket, timeout=5).steps == 14
+        svc.close()
+
+    def test_answered_claim_is_deleted_not_requeued(self, tmp_path):
+        layout = spool_layout(tmp_path / "s")
+        (layout["claimed"] / "t1.json").write_text("{}")
+        (layout["tickets"] / "t1.json").write_text("{}")
+        svc = BatchService(1, poll_seconds=0.02)
+        SpoolServer(tmp_path / "s", svc, poll=0.02)
+        assert not (layout["claimed"] / "t1.json").exists()
+        assert list(layout["pending"].glob("*.json")) == []
         svc.close()
 
     def test_cache_survives_server_restart(self, tmp_path):
