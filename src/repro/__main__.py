@@ -21,7 +21,12 @@ Commands mirror the workflow of the authors' run/profile scripts:
 * ``checkpoint`` — run a benchmark under periodic checkpointing with
   supervised crash recovery, optionally injecting worker faults, and
   verify restart parity against an uninterrupted run (see
-  ``docs/RELIABILITY.md``).
+  ``docs/RELIABILITY.md``); the run directory comes out *certified* —
+  digest chain + manifest — ready for ``certify``;
+* ``certify`` — verify a certified run directory by seedable interval
+  replay (bitwise in a matching environment, tolerance-tiered
+  cross-mode), or audit a service result cache with ``--cache`` (see
+  ``docs/REPRODUCIBILITY.md``).
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from repro.core.aggregator import RunsTable
 from repro.core.artifact import ArtifactLayout
 from repro.core.experiment import Mode, sweep
 from repro.core.runner import run_experiment
+from repro.md.precision import PARITY_TOLERANCES
 from repro.perfmodel.workloads import GPU_COUNTS, RANK_COUNTS, SIZES_K
 from repro.suite import BENCHMARK_NAMES, CPU_BENCHMARKS, GPU_BENCHMARKS
 
@@ -276,23 +282,16 @@ def _cmd_power(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Serial/parallel (and restart) parity tolerance on |dx| / |dF| by
-#: precision mode.  The double bound is the engine's documented 1e-10
-#: contract; the narrower storage dtypes legitimately round differently
-#: between the serial half-list and the directed parallel rows, so their
-#: bounds scale with the storage epsilon rather than signalling a bug.
-PARITY_TOLERANCES = {
-    "double": 1e-10,
-    "mixed": 1e-3,
-    "single": 1e-2,
-}
-
-
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.parallel.engine import ParallelForceExecutor
-    from repro.reliability import CheckpointManager, FaultPlan, ResilientRunner
+    from repro.reliability import (
+        CertificationRecorder,
+        CheckpointManager,
+        FaultPlan,
+        ResilientRunner,
+    )
     from repro.suite import get_benchmark
 
     bench = get_benchmark(args.experiment)
@@ -332,10 +331,29 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     manager = CheckpointManager(
         args.out, every=args.every, keep_last=args.keep_last, fault_plan=plan
     )
+    # Digest on the checkpoint cadence so every retained snapshot has a
+    # chain entry for `repro certify` to replay against.
+    certifier = CertificationRecorder(
+        args.out, every=args.every if args.every > 0 else max(1, args.steps)
+    )
     runner = ResilientRunner(
-        sim, manager, max_restarts=args.max_restarts, logger=print
+        sim, manager, max_restarts=args.max_restarts, digest=certifier,
+        logger=print
     )
     events = runner.run(args.steps)
+    manifest = certifier.finalize(
+        sim,
+        steps=args.steps,
+        benchmark=args.experiment,
+        n_atoms=args.atoms,
+        workers=1 if runner.degraded else args.workers,
+        checkpoint_every=args.every,
+        extra={
+            "recovery_events": len(events),
+            "degraded": runner.degraded,
+            **({"fault_plan": plan_text} if plan_text else {}),
+        },
+    )
     sim.close()
     retained = [p.name for p in manager.checkpoints()]
     print(f"finished at step {sim.step_number}: "
@@ -344,6 +362,10 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     print(f"recovery events: {len(events)} "
           f"({sum(e.action == 'respawn' for e in events)} respawn(s), "
           f"{sum(e.action == 'degrade-serial' for e in events)} degradation(s))")
+    print(f"certification: chain head {manifest.chain_head[:16]}… "
+          f"({manifest.chain_entries} digest entries) sealed in "
+          f"{args.out}/manifest.json — verify with "
+          f"`python -m repro certify {args.out}`")
 
     if not args.verify_parity:
         return 0
@@ -554,6 +576,55 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from repro.md.restart import SnapshotError
+    from repro.reliability.certify import (
+        CertificationError,
+        DigestChainError,
+        ManifestError,
+        audit_cache,
+        certify_run,
+    )
+
+    if (args.run_dir is None) == (args.cache is None):
+        print("give exactly one of a run directory or --cache DIR")
+        return 2
+    if args.cache is not None:
+        report = audit_cache(
+            args.cache,
+            replay=args.replay,
+            limit=args.limit,
+            seed=args.seed,
+            logger=print,
+        )
+        for key, problem in report.findings:
+            print(f"FINDING {key[:16]}…: {problem}")
+        for key, reason in report.skipped.items():
+            print(f"skipped {key[:16]}…: {reason}")
+        return 0 if report.ok else 1
+    deck_text = None
+    if args.deck is not None:
+        deck_text = open(args.deck).read()
+    try:
+        report = certify_run(
+            args.run_dir,
+            seed=args.seed,
+            at_step=args.at_step,
+            backend=args.backend,
+            precision=args.precision,
+            workers=args.workers,
+            deck_text=deck_text,
+            logger=print,
+        )
+    except (CertificationError, DigestChainError, ManifestError,
+            SnapshotError) as exc:
+        print(f"CERTIFICATION FAILED ({type(exc).__name__}): {exc}")
+        return 1
+    for line in report.checks:
+        print(f"  {line}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -731,6 +802,46 @@ def main(argv: list[str] | None = None) -> int:
     submit.add_argument("--timeout", type=float, default=600.0,
                         help="seconds to wait per ticket")
     submit.set_defaults(func=_cmd_submit)
+
+    certify = sub.add_parser(
+        "certify",
+        help="verify a certified run directory by replay (or audit a "
+             "service result cache with --cache)",
+    )
+    certify.add_argument("run_dir", nargs="?", default=None,
+                         help="run directory holding checkpoints, "
+                              "digests.jsonl, and manifest.json")
+    certify.add_argument("--cache", default=None, metavar="DIR",
+                         help="audit a service result cache instead of a "
+                              "run directory")
+    certify.add_argument("--seed", type=int, default=None,
+                         help="seed for the interval (or cache-sample) "
+                              "choice; default picks randomly")
+    certify.add_argument("--at-step", type=int, default=None,
+                         help="pin the replayed interval to the one "
+                              "starting at this checkpoint step")
+    certify.add_argument("--backend", default=None, metavar="NAME",
+                         help="replay on this kernel backend instead of "
+                              "the manifest's (forces a cross-mode "
+                              "verdict)")
+    certify.add_argument("--precision",
+                         choices=("single", "mixed", "double"),
+                         default=None,
+                         help="replay at this precision instead of the "
+                              "manifest's (forces a cross-mode verdict)")
+    certify.add_argument("--workers", type=int, default=None,
+                         help="replay on this many engine workers instead "
+                              "of the manifest's")
+    certify.add_argument("--deck", default=None, metavar="PATH",
+                         help="deck text for deck-based manifests (hash "
+                              "must match the sealed deck_sha256)")
+    certify.add_argument("--replay", action="store_true",
+                         help="with --cache: also re-execute entries and "
+                              "compare chain heads")
+    certify.add_argument("--limit", type=int, default=None,
+                         help="with --cache --replay: at most this many "
+                              "re-executions")
+    certify.set_defaults(func=_cmd_certify)
 
     args = parser.parse_args(argv)
     return args.func(args)

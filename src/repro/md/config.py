@@ -51,6 +51,11 @@ class RunConfig:
         Optional :class:`repro.reliability.CheckpointManager` (anything
         with ``maybe_checkpoint(simulation)``), consulted after every
         completed step.
+    digest:
+        Optional :class:`repro.reliability.DigestRecorder` (anything
+        with ``maybe_record(simulation)``), consulted after every
+        completed step — the hash-chained trajectory digest hook
+        (``docs/REPRODUCIBILITY.md``).
     tracer:
         Optional tracer spec re-wired through
         :meth:`~repro.md.simulation.Simulation.attach_tracer` before
@@ -65,6 +70,7 @@ class RunConfig:
     precision: Precision | str | None = None
     backend: "KernelBackend | str | None" = None
     checkpoint: Any = None
+    digest: Any = None
     tracer: Any = None
     reset_timers: bool = False
 

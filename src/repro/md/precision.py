@@ -41,7 +41,19 @@ __all__ = [
     "parse_precision",
     "policy_for",
     "DOUBLE_POLICY",
+    "PARITY_TOLERANCES",
 ]
+
+#: Max |Δ| allowed when comparing *trajectories* produced under
+#: different execution modes (backend, provider, serial-vs-parallel) at
+#: the same precision — the cross-mode tiers the checkpoint CLI and
+#: ``repro certify`` both apply.  Same-mode replay needs no tolerance:
+#: it is bitwise by contract.
+PARITY_TOLERANCES: dict[str, float] = {
+    "double": 1e-10,
+    "mixed": 1e-3,
+    "single": 1e-2,
+}
 
 
 def parse_precision(spec: "Precision | str | None") -> Precision:

@@ -511,6 +511,8 @@ class Simulation:
             self.step()
             if config.checkpoint is not None:
                 config.checkpoint.maybe_checkpoint(self)
+            if config.digest is not None:
+                config.digest.maybe_record(self)
 
     def reset_timers(self) -> None:
         """Zero the per-task timers and the step wall-clock accumulator."""

@@ -13,16 +13,42 @@ Three layers (see ``docs/RELIABILITY.md``):
 
 :class:`FaultPlan` is the deterministic crash injector driving the
 test harness (``$REPRO_FAULT_PLAN`` / ``--fault-plan``).
+
+On top of those sits :mod:`repro.reliability.certify` — hash-chained
+trajectory digests, certification manifests, and ``repro certify``
+replay verification (``docs/REPRODUCIBILITY.md``).
 """
 
-from repro.reliability.checkpoint import CheckpointManager
+from repro.reliability.certify import (
+    CertificationManifest,
+    CertificationRecorder,
+    DigestChain,
+    DigestChainError,
+    DigestRecorder,
+    ManifestError,
+    audit_cache,
+    certify_run,
+)
+from repro.reliability.checkpoint import (
+    CheckpointIntegrityError,
+    CheckpointManager,
+)
 from repro.reliability.faultplan import FaultPlan, FaultSpec
 from repro.reliability.recovery import RecoveryEvent, ResilientRunner
 
 __all__ = [
+    "CertificationManifest",
+    "CertificationRecorder",
+    "CheckpointIntegrityError",
     "CheckpointManager",
+    "DigestChain",
+    "DigestChainError",
+    "DigestRecorder",
     "FaultPlan",
     "FaultSpec",
+    "ManifestError",
     "RecoveryEvent",
     "ResilientRunner",
+    "audit_cache",
+    "certify_run",
 ]

@@ -9,6 +9,12 @@
   same directory and ``os.replace``d into place, so a crash mid-write
   can never leave a truncated file under a checkpoint name;
 * **retention** — only the newest ``keep_last`` checkpoints are kept;
+* **integrity** — every write records the file's CRC32 + byte size in
+  ``{prefix}-integrity.json``; ``verify_integrity`` (called by
+  ``restore_latest`` and by ``repro certify``) diagnoses a damaged
+  retained file as *truncated* or *bit-corrupted*
+  (:class:`CheckpointIntegrityError`) instead of letting it fail deep
+  inside numpy deserialization;
 * **recovery** — ``restore_latest`` walks the retained files newest
   first and restores the first one that parses, skipping corrupted
   leftovers;
@@ -25,8 +31,10 @@
 
 from __future__ import annotations
 
+import json
 import os
 import time
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -39,7 +47,18 @@ from repro.md.restart import (
 )
 from repro.observability import resolve_tracer
 
-__all__ = ["CheckpointManager"]
+__all__ = ["CheckpointManager", "CheckpointIntegrityError"]
+
+
+class CheckpointIntegrityError(SnapshotError):
+    """A retained checkpoint's bytes do not match its CRC/size record.
+
+    Subclasses :class:`~repro.md.restart.SnapshotError` so recovery's
+    skip-and-try-older loop treats a damaged file exactly like an
+    unparseable one — but callers that verify *explicitly* (``repro
+    certify``) get a diagnosis naming the damage (truncation vs bit
+    corruption) instead of an arbitrary numpy deserialization error.
+    """
 
 
 class CheckpointManager:
@@ -92,6 +111,10 @@ class CheckpointManager:
     def path_for(self, step: int) -> Path:
         return self.directory / f"{self.prefix}-{int(step):09d}.npz"
 
+    def integrity_path(self) -> Path:
+        """The CRC/size index covering this prefix's checkpoints."""
+        return self.directory / f"{self.prefix}-integrity.json"
+
     def checkpoints(self) -> list[Path]:
         """Retained checkpoint files, oldest first (sorted by step)."""
         return sorted(self.directory.glob(f"{self.prefix}-*.npz"))
@@ -141,7 +164,10 @@ class CheckpointManager:
                 return None
             with open(tmp, "wb") as handle:
                 np.savez_compressed(handle, **payload)
+            crc = zlib.crc32(tmp.read_bytes())
+            size = tmp.stat().st_size
             os.replace(tmp, final)
+            self._record_integrity(final.name, crc, size)
         elapsed = time.perf_counter() - start
         self.writes += 1
         if self.metrics is not None:
@@ -153,11 +179,78 @@ class CheckpointManager:
 
     def _prune(self) -> None:
         files = self.checkpoints()
+        dropped = []
         for stale in files[: -self.keep_last]:
             try:
                 stale.unlink()
             except FileNotFoundError:  # pragma: no cover - lost race
                 pass
+            dropped.append(stale.name)
+        if dropped:
+            index = self._load_index()
+            for name in dropped:
+                index.pop(name, None)
+            self._save_index(index)
+
+    # ------------------------------------------------------------------
+    # Integrity (CRC32 + size per retained file)
+    # ------------------------------------------------------------------
+    def _load_index(self) -> dict:
+        path = self.integrity_path()
+        if not path.exists():
+            return {}
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            return {}  # damaged index: files fall back to unverified
+        return data if isinstance(data, dict) else {}
+
+    def _save_index(self, index: dict) -> None:
+        path = self.integrity_path()
+        tmp = path.with_name(f".{path.name}.tmp")
+        tmp.write_text(json.dumps(index, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+
+    def _record_integrity(self, name: str, crc: int, size: int) -> None:
+        index = self._load_index()
+        index[name] = {"crc32": int(crc), "bytes": int(size)}
+        self._save_index(index)
+
+    def verify_integrity(self, path: str | Path) -> bool:
+        """Check one retained checkpoint against its CRC/size record.
+
+        Returns ``True`` when the bytes match the record and ``False``
+        when the file predates the integrity index (legacy directories
+        — nothing to check against).  Raises
+        :class:`CheckpointIntegrityError` naming the damage when the
+        record exists but the bytes disagree: a size mismatch is
+        diagnosed as truncation/growth, a CRC mismatch as bit
+        corruption — *before* numpy ever tries to deserialize them.
+        """
+        path = Path(path)
+        record = self._load_index().get(path.name)
+        if record is None:
+            return False
+        if not path.exists():
+            raise CheckpointIntegrityError(
+                f"checkpoint {path} is recorded in the integrity index "
+                "but missing on disk"
+            )
+        size = path.stat().st_size
+        if size != int(record["bytes"]):
+            raise CheckpointIntegrityError(
+                f"checkpoint {path} is {size} bytes but was written as "
+                f"{record['bytes']} bytes: the file was truncated or "
+                "appended to after the write"
+            )
+        crc = zlib.crc32(path.read_bytes())
+        if crc != int(record["crc32"]):
+            raise CheckpointIntegrityError(
+                f"checkpoint {path} fails its CRC32 "
+                f"({crc:#010x} vs recorded {int(record['crc32']):#010x}): "
+                "the file's bytes were altered after the write"
+            )
+        return True
 
     # ------------------------------------------------------------------
     # Recovery
@@ -173,6 +266,7 @@ class CheckpointManager:
         last_error: SnapshotError | None = None
         for path in reversed(self.checkpoints()):
             try:
+                self.verify_integrity(path)
                 snapshot = restore_simulation(simulation, path)
             except SnapshotError as exc:
                 last_error = exc

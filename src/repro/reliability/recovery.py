@@ -30,6 +30,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.md.config import RunConfig
 from repro.md.simulation import SerialForceExecutor, Simulation
 from repro.parallel.engine import ParallelEngineError
 from repro.reliability.checkpoint import CheckpointManager
@@ -72,6 +73,15 @@ class ResilientRunner:
     backoff_seconds:
         Base of the exponential backoff slept before restart ``k``
         (``backoff_seconds * 2**(k-1)``).
+    digest:
+        Optional :class:`~repro.reliability.certify.digest.
+        DigestRecorder` (or :class:`~repro.reliability.certify.record.
+        CertificationRecorder`) recording the hash-chained trajectory
+        digests *through* recovery: a bitwise respawn re-executes steps
+        whose digests are already recorded, which the chain verifies
+        idempotently (a divergent re-execution fails loudly), while the
+        non-bitwise degrade-to-serial path rewinds the chain to the
+        resume step so the abandoned parallel tail is re-recorded.
     metrics:
         Optional registry; failures/restarts/degradations are counted
         (``md_worker_failures_total``, ``md_restarts_total``,
@@ -88,6 +98,7 @@ class ResilientRunner:
         *,
         max_restarts: int = 2,
         backoff_seconds: float = 0.05,
+        digest=None,
         metrics=None,
         logger=None,
     ) -> None:
@@ -95,6 +106,7 @@ class ResilientRunner:
         self.checkpoint = checkpoint
         self.max_restarts = int(max_restarts)
         self.backoff_seconds = float(backoff_seconds)
+        self.digest = digest
         self.metrics = metrics
         self.logger = logger
         self.events: list[RecoveryEvent] = []
@@ -122,7 +134,11 @@ class ResilientRunner:
         while simulation.step_number < target:
             try:
                 simulation.run(
-                    target - simulation.step_number, checkpoint=self.checkpoint
+                    RunConfig(
+                        steps=target - simulation.step_number,
+                        checkpoint=self.checkpoint,
+                        digest=self.digest,
+                    )
                 )
             except ParallelEngineError as exc:
                 failed_step = simulation.step_number
@@ -140,6 +156,14 @@ class ResilientRunner:
                         self.metrics.counter("md_restarts_total").inc()
                     time.sleep(self.backoff_seconds * 2 ** (restarts - 1))
                 _, snapshot = self.checkpoint.restore_latest(simulation)
+                if action == "degrade-serial" and self.digest is not None:
+                    # Serial continuation is legitimately not bitwise
+                    # with the parallel prefix: the chain entries past
+                    # the resume point describe a trajectory this run
+                    # will no longer produce, so drop them for
+                    # re-recording instead of tripping the idempotent
+                    # re-execution check.
+                    self.digest.rewind_to(snapshot.step_number)
                 event = RecoveryEvent(
                     step=failed_step,
                     action=action,

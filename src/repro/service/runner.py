@@ -24,6 +24,7 @@ from typing import Callable
 
 from repro.md import RunConfig
 from repro.md.kernels import backend_spec, get_backend
+from repro.reliability.certify import DigestRecorder
 from repro.service.spec import JobResult, JobSpec, state_digest
 
 __all__ = ["execute_job"]
@@ -67,18 +68,25 @@ def execute_job(
     tick = time.perf_counter()
     sim, steps = _build_simulation(spec)
     chunk = max(1, steps // PROGRESS_CHUNK_FRACTION)
+    # The digest cadence is a pure function of the spec (the chunk
+    # size), so any route to the same spec — direct call, pool worker,
+    # spool ticket — produces the identical chain, head included.
+    digest = DigestRecorder(every=chunk)
     recovery_events = 0
     try:
         if spec.workers > 1:
-            recovery_events = _run_parallel(spec, sim, steps, chunk, progress)
+            recovery_events = _run_parallel(
+                spec, sim, steps, chunk, progress, digest
+            )
         else:
             done = 0
             while done < steps:
                 n = min(chunk, steps - done)
-                sim.run(RunConfig(steps=n))
+                sim.run(RunConfig(steps=n, digest=digest))
                 done += n
                 if progress is not None:
                     progress(done, steps)
+        digest.finalize(sim)
         wall = time.perf_counter() - tick
         return JobResult(
             key=spec.cache_key(),
@@ -99,12 +107,16 @@ def execute_job(
             engine_workers=int(spec.workers),
             recovery_events=recovery_events,
             tag=spec.tag,
+            digest_head=digest.chain.head,
+            digest_every=digest.every,
+            digest_chain=[e.to_json() for e in digest.chain.entries],
+            spec_json=spec.to_json(),
         )
     finally:
         sim.close()
 
 
-def _run_parallel(spec: JobSpec, sim, steps, chunk, progress) -> int:
+def _run_parallel(spec: JobSpec, sim, steps, chunk, progress, digest) -> int:
     """Drive the job on the parallel engine under crash recovery."""
     from repro.parallel.engine import ParallelForceExecutor
     from repro.reliability import CheckpointManager, FaultPlan, ResilientRunner
@@ -122,7 +134,7 @@ def _run_parallel(spec: JobSpec, sim, steps, chunk, progress) -> int:
         manager = CheckpointManager(
             tmp, every=int(spec.checkpoint_every), fault_plan=plan
         )
-        runner = ResilientRunner(sim, manager)
+        runner = ResilientRunner(sim, manager, digest=digest)
         done = 0
         while done < steps:
             n = min(chunk, steps - done)

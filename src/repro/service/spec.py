@@ -268,6 +268,17 @@ class JobResult:
     #: *served copy* so clients can tell a hit from a fresh run.
     cached: bool = False
     tag: str | None = None
+    #: Head of the run's hash-chained trajectory digest chain (see
+    #: ``docs/REPRODUCIBILITY.md``); None for legacy records.
+    digest_head: str | None = None
+    #: Cadence (steps) the digest chain was recorded at.
+    digest_every: int = 0
+    #: The full chain records (JSON-safe), so ``repro certify --cache``
+    #: can re-verify linkage and replay without the original run dir.
+    digest_chain: list = field(default_factory=list)
+    #: Wire form of the spec that produced this result, kept so an
+    #: audit can recompute the content address and re-execute the job.
+    spec_json: dict | None = None
     extra: dict = field(default_factory=dict)
 
     def to_json(self) -> dict[str, Any]:

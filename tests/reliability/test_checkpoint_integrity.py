@@ -1,0 +1,81 @@
+"""CheckpointManager's CRC/size integrity index (ISSUE 9 small fix).
+
+A partially-written or bit-flipped retained checkpoint must be
+diagnosed *as such* — truncation vs corruption, named file — instead
+of surfacing as an arbitrary numpy deserialization error, and
+``restore_latest`` must keep its skip-and-try-older contract with the
+damaged file counted out by the integrity check rather than by a lucky
+parse failure.
+"""
+
+import pytest
+
+from repro.md import RunConfig
+from repro.reliability import CheckpointIntegrityError, CheckpointManager
+from repro.suite import get_benchmark
+
+
+@pytest.fixture()
+def run(tmp_path):
+    sim = get_benchmark("lj").build(150)
+    manager = CheckpointManager(tmp_path, every=4)
+    sim.run(RunConfig(steps=12, checkpoint=manager))
+    yield sim, manager
+    sim.close()
+
+
+class TestIntegrityIndex:
+    def test_every_write_is_recorded_and_verifies(self, run):
+        _, manager = run
+        assert manager.integrity_path().exists()
+        for path in manager.checkpoints():
+            assert manager.verify_integrity(path) is True
+
+    def test_bit_flip_is_diagnosed_as_corruption(self, run):
+        _, manager = run
+        target = manager.checkpoints()[-1]
+        data = bytearray(target.read_bytes())
+        data[len(data) // 3] ^= 0x01
+        target.write_bytes(bytes(data))
+        with pytest.raises(CheckpointIntegrityError, match="CRC32"):
+            manager.verify_integrity(target)
+
+    def test_truncation_is_diagnosed_as_truncation(self, run):
+        _, manager = run
+        target = manager.checkpoints()[-1]
+        data = target.read_bytes()
+        target.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointIntegrityError, match="truncated"):
+            manager.verify_integrity(target)
+
+    def test_legacy_directory_is_unverified_not_failed(self, run):
+        _, manager = run
+        manager.integrity_path().unlink()
+        for path in manager.checkpoints():
+            assert manager.verify_integrity(path) is False
+
+    def test_pruned_files_leave_the_index(self, run):
+        sim, manager = run
+        import json
+
+        index = json.loads(manager.integrity_path().read_text())
+        names = {p.name for p in manager.checkpoints()}
+        assert set(index) == names  # pruned entries were dropped
+
+    def test_restore_latest_skips_damaged_newest(self, run):
+        sim, manager = run
+        newest = manager.checkpoints()[-1]
+        older = manager.checkpoints()[-2]
+        data = bytearray(newest.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        newest.write_bytes(bytes(data))
+        path, snapshot = manager.restore_latest(sim)
+        assert path == older
+        assert snapshot.step_number == int(older.stem.rsplit("-", 1)[-1])
+
+    def test_error_names_the_file(self, run):
+        _, manager = run
+        target = manager.checkpoints()[0]
+        target.write_bytes(b"\x00" * 64)
+        with pytest.raises(CheckpointIntegrityError, match=target.name):
+            manager.verify_integrity(target)

@@ -1,0 +1,135 @@
+"""Cross-backend / cross-worker determinism matrix, digest-chain oracle.
+
+This is the shared fixture that replaces the ad-hoc per-PR parity
+assertions: every determinism claim the engine makes is stated as a
+property of the certify digest chain.
+
+Two regimes, matching ``docs/REPRODUCIBILITY.md``:
+
+* **bitwise** — the parallel engine across 1/2/4 workers, and repeated
+  runs of any fixed configuration: chain *heads* must be equal, i.e.
+  every interval state is bit-for-bit identical;
+* **equivalent** — the three kernel backends at float64: the kernels
+  differ in summation order, so trajectories agree to the last ulp but
+  not bit for bit.  Chains must have identical shape (same steps), the
+  witness observables must agree within the double-tier parity
+  tolerance, and the final states must agree within it too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.md import RunConfig
+from repro.md.kernels import get_backend
+from repro.md.kernels.compiled import compiled_available
+from repro.md.precision import PARITY_TOLERANCES
+from repro.parallel.engine import ParallelForceExecutor
+from repro.reliability.certify import DigestRecorder
+from repro.suite import get_benchmark
+
+BACKENDS = ("numpy_ref", "numpy_fast", "compiled")
+BENCHMARKS = ("lj", "eam")
+SIZES = {"lj": 150, "eam": 500}
+STEPS = 6
+EVERY = 2
+TOL = PARITY_TOLERANCES["double"]
+
+
+def _chain_for(benchmark: str, backend: str, workers: int = 0):
+    """Run one short certified trajectory; returns (chain, positions).
+
+    ``workers=0`` runs the serial executor; ``workers>=1`` the parallel
+    engine with that many workers (a one-worker *parallel* run is its
+    own executor family — bitwise with 2/4 workers, not with serial).
+    """
+    sim = get_benchmark(benchmark).build(SIZES[benchmark])
+    sim.set_backend(get_backend(backend))
+    if workers >= 1:
+        executor = ParallelForceExecutor(
+            workers, quasi_2d=(benchmark == "chute")
+        )
+        sim.force_executor = executor
+        executor.bind(sim)
+    recorder = DigestRecorder(every=EVERY)
+    try:
+        sim.run(RunConfig(steps=STEPS, digest=recorder))
+        recorder.finalize(sim)
+        return recorder.chain, sim.system.positions.copy()
+    finally:
+        sim.close()
+
+
+def _skip_unavailable(backend: str) -> None:
+    if backend == "compiled" and not compiled_available():
+        pytest.skip("no compiled provider on this machine")
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """chains[(benchmark, backend)] -> (DigestChain, final positions)."""
+    chains = {}
+    for benchmark in BENCHMARKS:
+        for backend in BACKENDS:
+            if backend == "compiled" and not compiled_available():
+                continue
+            chains[(benchmark, backend)] = _chain_for(benchmark, backend)
+    return chains
+
+
+class TestWorkerCountBitwise:
+    """Parallel 1/2/4 workers: digest-chain heads must be *equal*."""
+
+    @pytest.mark.parametrize("bench", BENCHMARKS)
+    def test_chain_head_identical_across_worker_counts(self, bench):
+        heads = {}
+        for workers in (1, 2, 4):
+            chain, _ = _chain_for(bench, "numpy_fast", workers=workers)
+            heads[workers] = chain.head
+        assert heads[1] == heads[2] == heads[4], (
+            f"{bench}: parallel-engine chains diverged across worker "
+            f"counts: {heads}"
+        )
+
+
+class TestRunRepeatability:
+    """The same configuration twice: identical head (bitwise rerun)."""
+
+    @pytest.mark.parametrize("bench", BENCHMARKS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_rerun_reproduces_chain_head(self, matrix, bench, backend):
+        _skip_unavailable(backend)
+        first, _ = matrix[(bench, backend)]
+        second, _ = _chain_for(bench, backend)
+        assert second.head == first.head
+
+
+class TestCrossBackendEquivalence:
+    """numpy_ref / numpy_fast / compiled at float64: same chain shape,
+    witnesses and final state within the double parity tier."""
+
+    @pytest.mark.parametrize("bench", BENCHMARKS)
+    @pytest.mark.parametrize("other", ("numpy_fast", "compiled"))
+    def test_chain_equivalent_to_reference(self, matrix, bench, other):
+        _skip_unavailable(other)
+        reference, ref_x = matrix[(bench, "numpy_ref")]
+        candidate, cand_x = matrix[(bench, other)]
+        assert candidate.steps() == reference.steps()
+        for mine, theirs in zip(candidate.entries, reference.entries):
+            for name, value in theirs.witness.items():
+                scale = max(1.0, abs(value))
+                assert abs(mine.witness[name] - value) / scale <= TOL, (
+                    f"{bench}/{other} witness {name} diverged at "
+                    f"step {mine.step}"
+                )
+        assert float(np.abs(cand_x - ref_x).max()) <= TOL
+
+    @pytest.mark.parametrize("bench", BENCHMARKS)
+    def test_chain_catches_different_physics(self, matrix, bench):
+        # Sanity for the oracle itself: distinct benchmarks/backends
+        # must not collide on heads by construction.
+        heads = {
+            backend: chain.head
+            for (bench_name, backend), (chain, _) in matrix.items()
+            if bench_name == bench
+        }
+        assert len(set(heads.values())) == len(heads), heads
