@@ -59,6 +59,11 @@ from repro.observability.telemetry import (  # noqa: E402
     platform_provenance,
 )
 from repro.platforms.power import MIN_RUN_SECONDS  # noqa: E402
+from repro.report import (  # noqa: E402
+    energy_provenance,
+    make_report,
+    platform_info,
+)
 from repro.md.potentials.eam import EAMAlloy  # noqa: E402
 from repro.md.potentials.granular import HookeHistory  # noqa: E402
 from repro.md.potentials.lj import LennardJonesCut  # noqa: E402
@@ -298,26 +303,28 @@ def run(
                     if verbose:
                         print(f"  trace -> {path}", flush=True)
 
-    return {
-        "schema": "repro-bench-kernels/1",
-        "created_unix": time.time(),
-        "quick": quick,
-        "platform": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "numba": _numba_version(),
-            "machine": platform.machine(),
-            "system": platform.system(),
-            "kernel_backends": backend_diagnostics(),
-            "compiled_provider": provider_info(),
-            "telemetry": platform_provenance(),
+    return make_report(
+        "kernels",
+        backend={
+            "requested": list(backends),
+            "resolved": list(backends),
+            "auto_resolves_to": resolve_auto_backend(),
         },
-        "requested_sizes": sizes,
-        "backends": list(backends),
-        "kernel_backend_auto": resolve_auto_backend(),
-        "results": results,
-        "speedups": _speedups(results),
-    }
+        precision="double",
+        energy=energy_provenance(),
+        platform=platform_info(
+            numba=_numba_version(),
+            kernel_backends=backend_diagnostics(),
+            compiled_provider=provider_info(),
+            telemetry=platform_provenance(),
+        ),
+        quick=quick,
+        requested_sizes=sizes,
+        backends=list(backends),
+        kernel_backend_auto=resolve_auto_backend(),
+        results=results,
+        speedups=_speedups(results),
+    )
 
 
 def _numba_version() -> str | None:

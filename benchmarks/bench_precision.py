@@ -51,6 +51,11 @@ from repro.observability.telemetry import (  # noqa: E402
     platform_provenance,
 )
 from repro.platforms.power import MIN_RUN_SECONDS  # noqa: E402
+from repro.report import (  # noqa: E402
+    energy_provenance,
+    make_report,
+    platform_info,
+)
 from repro.suite import get_benchmark  # noqa: E402
 
 MODES = ("single", "mixed", "double")
@@ -228,27 +233,23 @@ def run(*, smoke: bool, verbose: bool = True) -> dict:
         results += _drift("rhodo", 2000, steps=100, sample_every=25,
                           verbose=verbose)
         results += _oracle_error(4096, verbose=verbose)
-    return {
-        "schema": "repro-bench-precision/1",
-        "created_unix": time.time(),
-        "smoke": smoke,
-        "platform": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-            "system": platform.system(),
-            "telemetry": platform_provenance(),
-        },
-        "modes": list(MODES),
+    return make_report(
+        "precision",
         # Thresholds here are calibrated on the default backend; the
         # record still names what `auto` would pick on this host.
-        "kernel_backend": {
+        backend={
+            "requested": "default",
             "resolved": backend_spec(get_backend(None)),
             "auto_resolves_to": resolve_auto_backend(),
         },
-        "results": results,
-        "summary": _summary(results),
-    }
+        precision=list(MODES),
+        energy=energy_provenance(),
+        platform=platform_info(telemetry=platform_provenance()),
+        smoke=smoke,
+        modes=list(MODES),
+        results=results,
+        summary=_summary(results),
+    )
 
 
 def _summary(results: list[dict]) -> dict:

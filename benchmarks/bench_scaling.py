@@ -69,6 +69,11 @@ from repro.observability.telemetry import (  # noqa: E402
 )
 from repro.platforms.power import MIN_RUN_SECONDS  # noqa: E402
 from repro.parallel.engine import ParallelForceExecutor  # noqa: E402
+from repro.report import (  # noqa: E402
+    energy_provenance,
+    make_report,
+    platform_info,
+)
 from repro.suite import get_benchmark  # noqa: E402
 
 #: Acceptance bar: 4-worker critical-path speedup on the 32k-atom LJ
@@ -383,26 +388,23 @@ def run(*, quick: bool, backend: str | None = None, verbose: bool = True) -> dic
                 flush=True,
             )
 
-    return {
-        "schema": "repro-bench-scaling/1",
-        "created_unix": time.time(),
-        "quick": quick,
-        "platform": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-            "system": platform.system(),
-            "cores_available": os.cpu_count(),
-            "kernel_backends": backend_diagnostics(),
-            "compiled_provider": provider_info(),
-            "telemetry": platform_provenance(),
-        },
-        "kernel_backend": {
+    return make_report(
+        "scaling",
+        backend={
             "requested": backend,
             "resolved": resolved,
             "auto_resolves_to": resolve_auto_backend(),
         },
-        "methodology": (
+        precision="double",
+        energy=energy_provenance(),
+        platform=platform_info(
+            cores_available=os.cpu_count(),
+            kernel_backends=backend_diagnostics(),
+            compiled_provider=provider_info(),
+            telemetry=platform_provenance(),
+        ),
+        quick=quick,
+        methodology=(
             "warmup steps excluded; best of repeated measurement windows "
             "(contention only inflates CPU time, so the minimum is the "
             "honest estimate); critical_path = master CPU/step + max "
@@ -410,11 +412,11 @@ def run(*, quick: bool, backend: str | None = None, verbose: bool = True) -> dic
             "time is scheduling-invariant so the metric holds on hosts "
             "with fewer cores than workers"
         ),
-        "serial": serial,
-        "serial_backends": backend_rows,
-        "scaling": results,
-        "parity": parity_results,
-    }
+        serial=serial,
+        serial_backends=backend_rows,
+        scaling=results,
+        parity=parity_results,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -448,7 +450,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {args.out}")
 
     failures = []
-    enforce_speedups = report["kernel_backend"]["resolved"] == "numpy_fast"
+    enforce_speedups = report["backend"]["resolved"] == "numpy_fast"
     for entry in report["parity"]:
         if not entry["ok"]:
             failures.append(

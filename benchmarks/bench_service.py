@@ -49,6 +49,11 @@ if str(REPO_ROOT / "src") not in sys.path:
 import numpy as np  # noqa: E402
 
 from repro.md.kernels import resolve_auto_backend  # noqa: E402
+from repro.report import (  # noqa: E402
+    energy_provenance,
+    make_report,
+    platform_info,
+)
 from repro.service import (  # noqa: E402
     BatchService,
     JobSpec,
@@ -227,19 +232,20 @@ def run(*, quick: bool, workers: int = 4, verbose: bool = True) -> dict:
               f"events={fault_entry['recovery_events']} "
               f"bitwise={fault_entry['bitwise_identical']}", flush=True)
 
-    return {
-        "schema": "repro-bench-service/1",
-        "created_unix": time.time(),
-        "quick": quick,
-        "platform": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-            "system": platform.system(),
-            "cores_available": os.cpu_count(),
-            "kernel_backend_auto": resolve_auto_backend(),
+    return make_report(
+        "service",
+        backend={
+            "requested": "auto",
+            "resolved": resolve_auto_backend(),
         },
-        "sweep": {
+        precision="double",
+        energy=energy_provenance(),
+        platform=platform_info(
+            cores_available=os.cpu_count(),
+            kernel_backend_auto=resolve_auto_backend(),
+        ),
+        quick=quick,
+        sweep={
             "unique_configs": len(unique),
             "repeat_factor": REPEAT_FACTOR,
             "submissions": len(submissions),
@@ -247,7 +253,7 @@ def run(*, quick: bool, workers: int = 4, verbose: bool = True) -> dict:
             "steps": unique[0].steps,
             "cache_keys": [spec.cache_key() for spec in unique],
         },
-        "methodology": (
+        methodology=(
             "sequential = naive one-at-a-time re-execution of every "
             "submission with no cache; service = same submissions from "
             "4 concurrent submitter threads into a BatchService, which "
@@ -257,12 +263,12 @@ def run(*, quick: bool, workers: int = 4, verbose: bool = True) -> dict:
             "by the repeat factor), not CPU parallelism; multi-core "
             "hosts add pool concurrency on top."
         ),
-        "sequential": sequential,
-        "service": service_entry,
-        "speedup_jobs_per_min": speedup,
-        "resubmit": resubmit_entry,
-        "fault_recovery": fault_entry,
-    }
+        sequential=sequential,
+        service=service_entry,
+        speedup_jobs_per_min=speedup,
+        resubmit=resubmit_entry,
+        fault_recovery=fault_entry,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

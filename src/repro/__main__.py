@@ -1,851 +1,17 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""``python -m repro`` — thin shim over :mod:`repro.cli`.
 
-Commands mirror the workflow of the authors' run/profile scripts:
-
-* ``campaign`` — sweep a parameter space on a simulated instance and
-  write the results in the artifact layout (``runs.csv`` + profiles);
-* ``figure``  — regenerate one paper table/figure as a text table;
-* ``anchors`` — print the paper-vs-measured anchor scoreboard;
-* ``run-deck`` — parse and execute a LAMMPS input deck (the supported
-  command subset, see ``repro.md.deck``);
-* ``trace``   — run a functional benchmark under the span tracer and
-  write a Chrome trace, metrics snapshots and the timing tables (see
-  ``docs/OBSERVABILITY.md``);
-* ``power``   — run a functional benchmark under the hardware
-  telemetry sampler (RAPL / procfs / calibrated model, auto-detected)
-  and report the measured per-phase energy breakdown and TS/s/W (see
-  ``docs/OBSERVABILITY.md`` §7);
-* ``scale``   — run a benchmark on the real shared-memory parallel
-  engine, check serial/parallel parity, and report the measured
-  per-worker timeline and speedups (see ``docs/SCALING.md``);
-* ``checkpoint`` — run a benchmark under periodic checkpointing with
-  supervised crash recovery, optionally injecting worker faults, and
-  verify restart parity against an uninterrupted run (see
-  ``docs/RELIABILITY.md``); the run directory comes out *certified* —
-  digest chain + manifest — ready for ``certify``;
-* ``certify`` — verify a certified run directory by seedable interval
-  replay (bitwise in a matching environment, tolerance-tiered
-  cross-mode), or audit a service result cache with ``--cache`` (see
-  ``docs/REPRODUCIBILITY.md``).
+The subcommand registry, shared option groups and command bodies all
+live in :mod:`repro.cli`; this module only keeps the historical import
+path (``from repro.__main__ import main``) working.
 """
 
 from __future__ import annotations
 
-import argparse
-import importlib
 import sys
-from pathlib import Path
 
-from repro.core.aggregator import RunsTable
-from repro.core.artifact import ArtifactLayout
-from repro.core.experiment import Mode, sweep
-from repro.core.runner import run_experiment
-from repro.md.precision import PARITY_TOLERANCES
-from repro.perfmodel.workloads import GPU_COUNTS, RANK_COUNTS, SIZES_K
-from repro.suite import BENCHMARK_NAMES, CPU_BENCHMARKS, GPU_BENCHMARKS
+from repro.cli import main
 
-FIGURES = (
-    "table2",
-    "table3",
-    *(f"fig{n:02d}" for n in range(3, 17)),
-    "headline",
-)
-
-
-def _cmd_campaign(args: argparse.Namespace) -> int:
-    benchmarks = args.benchmarks or (
-        CPU_BENCHMARKS if args.platform == "cpu" else GPU_BENCHMARKS
-    )
-    resources = args.resources or (
-        RANK_COUNTS if args.platform == "cpu" else GPU_COUNTS
-    )
-    sizes = args.sizes or SIZES_K
-    table = RunsTable()
-    layout = ArtifactLayout(args.out)
-    specs = list(
-        sweep(benchmarks, args.platform, sizes, resources, mode=Mode.PROFILING)
-    )
-    print(f"running {len(specs)} simulated experiments on the "
-          f"{args.platform} instance ...")
-    for spec in specs:
-        record = run_experiment(spec)
-        table.add(record)
-        layout.write_profile(record)
-    written = layout.write_runs(table)
-    for platform, path in written.items():
-        print(f"wrote {platform} runs to {path}")
-    print(f"wrote {len(layout.profile_index())} profile files under {args.out}")
-    return 0
-
-
-def _cmd_figure(args: argparse.Namespace) -> int:
-    module = importlib.import_module(f"repro.figures.{args.name}")
-    print(module.generate().render())
-    return 0
-
-
-def _cmd_anchors(args: argparse.Namespace) -> int:
-    from repro.gpu import simulate_gpu_run
-    from repro.parallel import simulate_cpu_run
-    from repro.perfmodel.calibration import PAPER_ANCHORS as A
-
-    rows = [
-        ("rhodo CPU 2048k/64 [TS/s]", A.rhodo_cpu_2048k_64r_ts,
-         simulate_cpu_run("rhodo", 2_048_000, 64).ts_per_s),
-        ("rhodo CPU 2048k/64 @1e-7 [TS/s]", A.rhodo_cpu_2048k_64r_ts_e7,
-         simulate_cpu_run("rhodo", 2_048_000, 64, kspace_error=1e-7).ts_per_s),
-        ("lj CPU single [TS/s]", A.lj_cpu_2048k_64r_ts_single,
-         simulate_cpu_run("lj", 2_048_000, 64, precision="single").ts_per_s),
-        ("lj CPU double [TS/s]", A.lj_cpu_2048k_64r_ts_double,
-         simulate_cpu_run("lj", 2_048_000, 64, precision="double").ts_per_s),
-        ("rhodo GPU 2048k/8 [TS/s]", A.rhodo_gpu_2048k_8g_ts,
-         simulate_gpu_run("rhodo", 2_048_000, 8).ts_per_s),
-        ("rhodo GPU @1e-7 [TS/s]", A.rhodo_gpu_2048k_8g_ts_e7,
-         simulate_gpu_run("rhodo", 2_048_000, 8, kspace_error=1e-7).ts_per_s),
-        ("lj GPU single [TS/s]", A.lj_gpu_2048k_8g_ts_single,
-         simulate_gpu_run("lj", 2_048_000, 8, precision="single").ts_per_s),
-        ("rhodo CPU [ns/day]", A.rhodo_cpu_ns_per_day,
-         simulate_cpu_run("rhodo", 2_048_000, 64).ns_per_day(2.0)),
-        ("rhodo GPU [ns/day]", A.rhodo_gpu_ns_per_day,
-         simulate_gpu_run("rhodo", 2_048_000, 8).ns_per_day(2.0)),
-    ]
-    print(f"{'anchor':<36s} {'paper':>8s} {'measured':>9s} {'delta':>7s}")
-    print("-" * 64)
-    for name, paper, measured in rows:
-        delta = 100.0 * (measured - paper) / paper
-        print(f"{name:<36s} {paper:>8.2f} {measured:>9.2f} {delta:>+6.1f}%")
-    return 0
-
-
-def _cmd_run_deck(args: argparse.Namespace) -> int:
-    from repro.core.report import render_breakdown
-    from repro.md.deck import parse_deck
-
-    deck = parse_deck(Path(args.deck).read_text())
-    print(f"parsed {len(deck.commands)} commands "
-          f"({deck.units} units, {deck.simulation.system.n_atoms} atoms); "
-          f"running {deck.run_steps} steps ...")
-    simulation = deck.run()
-    print(f"done: {simulation.counts.timesteps} steps, "
-          f"T = {simulation.system.temperature():.4f}, "
-          f"E_total = {simulation.total_energy():.4f}")
-    print(render_breakdown(simulation.task_breakdown(), title="Task breakdown:"))
-    return 0
-
-
-def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.observability import (
-        MetricsRegistry,
-        Tracer,
-        render_agreement,
-        render_span_table,
-        render_task_table,
-    )
-    from repro.suite import get_benchmark
-
-    bench = get_benchmark(args.experiment)
-    tracer = Tracer(capacity=args.capacity)
-    metrics = MetricsRegistry()
-    sim = bench.build_instrumented(args.atoms, tracer=tracer, metrics=metrics)
-    print(f"built {args.experiment}: {sim.system.n_atoms} atoms, "
-          f"backend {sim.backend.name}")
-    if args.warmup:
-        sim.run(args.warmup)
-    tracer.reset()
-
-    out = Path(args.out)
-    metrics_path = out / "metrics.jsonl"
-    if metrics_path.exists():
-        metrics_path.unlink()  # JSONL appends; start each invocation fresh
-    print(f"tracing {args.steps} steps ...")
-    from repro.md import RunConfig
-
-    chunk = max(1, min(args.snapshot_every, args.steps))
-    done = 0
-    while done < args.steps:
-        n = min(chunk, args.steps - done)
-        sim.run(RunConfig(steps=n, reset_timers=done == 0))
-        done += n
-        metrics.write_snapshot(metrics_path, step=done, experiment=args.experiment)
-
-    trace_path = tracer.write_chrome_trace(
-        out / "trace.json", process_name=f"repro:{args.experiment}"
-    )
-    print()
-    print(render_task_table(sim.timers, args.steps))
-    print()
-    print(render_span_table(tracer))
-    print()
-    print(tracer.flame_report())
-    print()
-    print(render_agreement(sim.timers, tracer))
-    if tracer.n_dropped:
-        print(f"ring buffer wrapped: {tracer.n_dropped} oldest spans dropped "
-              f"(raise --capacity to keep them)")
-    print(f"wrote {trace_path} (open in chrome://tracing or ui.perfetto.dev)")
-    print(f"wrote {metrics_path}")
-    return 0
-
-
-def _cmd_power(args: argparse.Namespace) -> int:
-    import json as _json
-
-    from repro.md import RunConfig
-    from repro.observability import MetricsRegistry, Tracer
-    from repro.observability.telemetry import (
-        TelemetrySampler,
-        attribute_energy,
-        detect_provider,
-        platform_provenance,
-        render_energy_table,
-    )
-    from repro.suite import get_benchmark
-
-    try:
-        provider = detect_provider(args.provider)
-    except (RuntimeError, ValueError) as exc:
-        print(f"power provider unavailable: {exc}", file=sys.stderr)
-        return 2
-
-    bench = get_benchmark(args.experiment)
-    tracer = Tracer(capacity=args.capacity)
-    metrics = MetricsRegistry()
-    sim = bench.build_instrumented(args.atoms, tracer=tracer, metrics=metrics)
-    print(f"built {args.experiment}: {sim.system.n_atoms} atoms, "
-          f"backend {sim.backend.name}; power provider "
-          f"{provider.name} ({provider.kind})")
-    if args.warmup:
-        sim.run(args.warmup)
-    tracer.reset()
-
-    sampler = TelemetrySampler(
-        provider, period_s=args.period, metrics=metrics
-    )
-    chunk = max(1, min(args.report_every, args.steps))
-    print(f"running {args.steps} steps, sampling every {args.period:g} s ...")
-    done = 0
-    sampler.start()
-    try:
-        while done < args.steps:
-            n = min(chunk, args.steps - done)
-            sim.run(RunConfig(steps=n, reset_timers=done == 0))
-            done += n
-            sample = sampler.sample_now()
-            print(f"  step {done:>6d}/{args.steps}: {sample.watts:7.2f} W, "
-                  f"{sampler.total_joules:9.2f} J cumulative", flush=True)
-    finally:
-        sampler.stop()
-
-    attribution = attribute_energy(sampler.samples, tracer.records())
-    duration = sampler.duration_s
-    ts_per_s = args.steps / duration if duration > 0 else 0.0
-    watts = sampler.mean_watts
-    print()
-    print(render_energy_table(attribution, steps=args.steps))
-    print()
-    print(f"throughput:        {ts_per_s:10.3f} TS/s over {duration:.2f} s")
-    print(f"mean power:        {watts:10.2f} W ({provider.name}, {provider.kind})")
-    print(f"energy efficiency: {ts_per_s / watts if watts else 0.0:10.4f} TS/s/W")
-    print(f"energy per step:   "
-          f"{sampler.total_joules / args.steps:10.3f} J/step")
-    if sampler.under_sampled:
-        print(f"NOTE: run lasted {duration:.2f} s < "
-              f"{sampler.min_run_seconds:.0f} s — under-sampled; do not "
-              "compare these numbers across runs")
-
-    if args.trace:
-        path = tracer.write_chrome_trace(
-            Path(args.trace), process_name=f"repro:power:{args.experiment}"
-        )
-        print(f"wrote {path}")
-    if args.json:
-        report = {
-            "schema": "repro-power-report/1",
-            "experiment": args.experiment,
-            "n_atoms": sim.system.n_atoms,
-            "steps": args.steps,
-            "warmup": args.warmup,
-            "duration_s": duration,
-            "ts_per_s": ts_per_s,
-            "mean_watts": watts,
-            "joules": sampler.total_joules,
-            "joules_per_step": sampler.total_joules / args.steps,
-            "ts_per_s_per_watt": ts_per_s / watts if watts else 0.0,
-            "sampling": sampler.provenance(),
-            "attribution": attribution.to_json(),
-            "platform": platform_provenance(),
-        }
-        path = Path(args.json)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(_json.dumps(report, indent=2) + "\n")
-        print(f"wrote {path}")
-    return 0
-
-
-def _cmd_checkpoint(args: argparse.Namespace) -> int:
-    import numpy as np
-
-    from repro.parallel.engine import ParallelForceExecutor
-    from repro.reliability import (
-        CertificationRecorder,
-        CheckpointManager,
-        FaultPlan,
-        ResilientRunner,
-    )
-    from repro.suite import get_benchmark
-
-    bench = get_benchmark(args.experiment)
-    # Resolve $REPRO_FAULT_PLAN here (not just engine-side) so that
-    # checkpoint-phase faults reach the manager too, and so the
-    # verify-parity reference below can be pinned fault-free.
-    plan = (
-        FaultPlan.parse(args.fault_plan)
-        if args.fault_plan
-        else FaultPlan.from_env()
-    )
-    plan_text = args.fault_plan or (
-        "; ".join(s.spec_string() for s in plan.specs) if plan else ""
-    )
-
-    def build(fault_plan=None):
-        sim = bench.build(args.atoms)
-        sim.set_precision(args.precision)
-        if args.workers > 1:
-            executor = ParallelForceExecutor(
-                args.workers,
-                quasi_2d=args.experiment == "chute",
-                fault_plan=fault_plan,
-                barrier_timeout=args.barrier_timeout,
-                precision=args.precision,
-            )
-            sim.force_executor = executor
-            executor.bind(sim)
-        return sim
-
-    sim = build(fault_plan=plan)
-    print(f"built {args.experiment}: {sim.system.n_atoms} atoms on "
-          f"{args.workers} worker(s) at {args.precision} precision; "
-          f"checkpoint every {args.every} steps "
-          f"under {args.out}"
-          + (f"; fault plan {plan_text!r}" if plan_text else ""))
-    manager = CheckpointManager(
-        args.out, every=args.every, keep_last=args.keep_last, fault_plan=plan
-    )
-    # Digest on the checkpoint cadence so every retained snapshot has a
-    # chain entry for `repro certify` to replay against.
-    certifier = CertificationRecorder(
-        args.out, every=args.every if args.every > 0 else max(1, args.steps)
-    )
-    runner = ResilientRunner(
-        sim, manager, max_restarts=args.max_restarts, digest=certifier,
-        logger=print
-    )
-    events = runner.run(args.steps)
-    manifest = certifier.finalize(
-        sim,
-        steps=args.steps,
-        benchmark=args.experiment,
-        n_atoms=args.atoms,
-        workers=1 if runner.degraded else args.workers,
-        checkpoint_every=args.every,
-        extra={
-            "recovery_events": len(events),
-            "degraded": runner.degraded,
-            **({"fault_plan": plan_text} if plan_text else {}),
-        },
-    )
-    sim.close()
-    retained = [p.name for p in manager.checkpoints()]
-    print(f"finished at step {sim.step_number}: "
-          f"E_total = {sim.total_energy():.10f}, "
-          f"{manager.writes} checkpoint writes, retained {retained}")
-    print(f"recovery events: {len(events)} "
-          f"({sum(e.action == 'respawn' for e in events)} respawn(s), "
-          f"{sum(e.action == 'degrade-serial' for e in events)} degradation(s))")
-    print(f"certification: chain head {manifest.chain_head[:16]}… "
-          f"({manifest.chain_entries} digest entries) sealed in "
-          f"{args.out}/manifest.json — verify with "
-          f"`python -m repro certify {args.out}`")
-
-    if not args.verify_parity:
-        return 0
-    # An explicitly empty plan keeps the reference run fault-free even
-    # when $REPRO_FAULT_PLAN is set in the environment.
-    reference = build(fault_plan=FaultPlan())
-    reference.run(args.steps)
-    reference.close()
-    delta = float(np.abs(reference.system.positions - sim.system.positions).max())
-    bitwise = bool(
-        np.array_equal(reference.system.positions, sim.system.positions)
-        and np.array_equal(reference.system.velocities, sim.system.velocities)
-    )
-    tolerance = PARITY_TOLERANCES[args.precision]
-    verdict = "OK" if (bitwise or delta <= tolerance) else "DIVERGED"
-    print(f"parity vs uninterrupted run: bitwise={bitwise}, "
-          f"|dx|max = {delta:.3e} (tol {tolerance:.0e}, {verdict})")
-    return 0 if verdict == "OK" else 1
-
-
-def _cmd_scale(args: argparse.Namespace) -> int:
-    import os
-
-    import numpy as np
-
-    from repro.md import RunConfig
-    from repro.parallel.engine import ParallelForceExecutor
-    from repro.suite import get_benchmark
-
-    bench = get_benchmark(args.experiment)
-    quasi_2d = args.experiment == "chute"
-
-    backend_name = None
-    if args.backend:
-        from repro.md.kernels import (
-            backend_diagnostics,
-            backend_spec,
-            get_backend,
-        )
-
-        # get_backend degrades an unavailable optional backend to the
-        # default with a warning; surface the reason on the CLI too.
-        backend_name = backend_spec(get_backend(args.backend))
-        if backend_name != args.backend:
-            print(f"backend {args.backend!r} is unavailable "
-                  f"({backend_diagnostics().get(args.backend, 'unknown')}); "
-                  f"using {backend_name!r}")
-
-    serial = bench.build(args.atoms)
-    serial.set_precision(args.precision)
-    if backend_name:
-        serial.set_backend(backend_name)
-    serial.setup()
-    print(f"built {args.experiment}: {serial.system.n_atoms} atoms, "
-          f"{os.cpu_count()} cores visible; running {args.steps} steps at "
-          f"{args.precision} precision on the {serial.backend.name} "
-          f"backend, serial then on {args.workers} workers")
-    import time as _time
-
-    tick = _time.perf_counter()
-    cpu_tick = _time.process_time()
-    serial.run(RunConfig(steps=args.steps, reset_timers=True))
-    serial_wall = _time.perf_counter() - tick
-    serial_cpu = _time.process_time() - cpu_tick
-    serial_pair = serial.timers.seconds.get("Pair", 0.0)
-
-    manager = None
-    if args.checkpoint_every > 0:
-        from repro.reliability import CheckpointManager
-
-        manager = CheckpointManager(
-            args.checkpoint_dir, every=args.checkpoint_every
-        )
-        print(f"checkpointing every {args.checkpoint_every} steps "
-              f"under {args.checkpoint_dir}")
-
-    parallel = bench.build(args.atoms)
-    parallel.set_precision(args.precision)
-    if backend_name:
-        parallel.set_backend(backend_name)
-    executor = ParallelForceExecutor(
-        args.workers, quasi_2d=quasi_2d, precision=args.precision
-    )
-    parallel.force_executor = executor
-    executor.bind(parallel)
-    with parallel:
-        parallel.setup()
-        # Drop the setup-time initial build from the accumulators; the
-        # serial side's reset_timers does the same for its task timers.
-        executor.reset_timings()
-        storage = np.dtype(executor.precision.storage_dtype)
-        print(f"shm arena: {executor.arena_nbytes / 1e6:.2f} MB "
-              f"({storage.name} per-atom exchange state)")
-        tick = _time.perf_counter()
-        cpu_tick = _time.process_time()
-        parallel.run(
-            RunConfig(steps=args.steps, reset_timers=True, checkpoint=manager)
-        )
-        parallel_wall = _time.perf_counter() - tick
-        master_cpu = _time.process_time() - cpu_tick
-        if manager is not None:
-            print(f"wrote {manager.writes} checkpoints, retained "
-                  f"{[p.name for p in manager.checkpoints()]}")
-
-        force_delta = float(
-            np.abs(serial.system.forces - parallel.system.forces).max()
-        )
-        energy_delta = abs(serial.potential_energy - parallel.potential_energy)
-        parity_tol = PARITY_TOLERANCES[args.precision]
-        print(f"parity: |dF|max = {force_delta:.3e}, "
-              f"|dE| = {energy_delta:.3e} "
-              f"(tol {parity_tol:.0e}, "
-              f"{'OK' if force_delta < parity_tol else 'DIVERGED'})")
-        print(f"serial:   {args.steps / serial_wall:8.2f} steps/s "
-              f"({serial_wall:.3f} s wall, Pair {serial_pair:.3f} s)")
-        print(f"parallel: {args.steps / parallel_wall:8.2f} steps/s "
-              f"({parallel_wall:.3f} s wall)")
-        steps = max(1, executor.steps_measured)
-        # Critical path under true concurrency: master CPU per step plus
-        # the slowest worker's (pair + amortized rebuild) CPU per step.
-        # CPU time is scheduling-invariant, so this holds on hosts with
-        # fewer cores than workers (where wall clock just serializes).
-        worker_cpu = (
-            executor.worker_pair_cpu_seconds + executor.worker_neigh_cpu_seconds
-        ) / steps
-        critical = master_cpu / args.steps + float(worker_cpu.max())
-        print(f"wall-clock speedup:     {serial_wall / parallel_wall:.2f}x")
-        print(f"critical-path speedup:  {serial_cpu / args.steps / critical:.2f}x "
-              f"(slowest worker pair+rebuild CPU: {worker_cpu.max()*1e3:.2f} "
-              f"ms/step)")
-        print()
-        print(executor.timeline().render())
-    return 0 if force_delta < parity_tol else 1
-
-
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from pathlib import Path
-
-    from repro.service import BatchService, SpoolServer
-
-    spool = Path(args.spool)
-    service = BatchService(
-        args.workers,
-        cache_dir=spool / "cache",
-        max_cache_entries=args.cache_entries,
-        max_requeues=args.max_requeues,
-    )
-    server = SpoolServer(spool, service, poll=args.poll)
-    server.install_signal_handlers()
-    print(f"serving spool {spool} on {args.workers} workers "
-          f"(cache: {spool / 'cache'}); SIGTERM drains and exits")
-    try:
-        server.serve_forever(max_seconds=args.max_seconds)
-    finally:
-        service.close()
-        snapshot = service.metrics.write_snapshot(spool / "metrics.jsonl")
-        stats = service.stats()
-        cache = stats["cache"]
-        print(f"drained: answered {server.answered} tickets, "
-              f"cache {cache['hits']} hits / {cache['misses']} misses, "
-              f"{stats['worker_respawns']} worker respawns; "
-              f"metrics -> {snapshot}")
-    return 0
-
-
-def _cmd_submit(args: argparse.Namespace) -> int:
-    from repro.service import JobSpec, SpoolClient
-
-    if (args.experiment is None) == (args.deck is None):
-        print("give exactly one of an experiment name or --deck PATH")
-        return 2
-    deck_text = None
-    if args.deck is not None:
-        deck_text = open(args.deck).read()
-    spec = JobSpec(
-        benchmark=args.experiment,
-        deck=deck_text,
-        n_atoms=args.atoms,
-        steps=args.steps,
-        seed=args.seed,
-        precision=args.precision,
-        backend=args.backend,
-        workers=args.workers,
-        tag=args.tag,
-    )
-    client = SpoolClient(args.spool)
-    tickets = [client.submit(spec) for _ in range(args.repeat)]
-    print(f"submitted {len(tickets)} ticket(s) for key "
-          f"{spec.cache_key()[:16]}…")
-    if args.no_wait:
-        for ticket in tickets:
-            print(f"  ticket {ticket}")
-        return 0
-    failures = 0
-    for ticket in tickets:
-        try:
-            result = client.wait(ticket, timeout=args.timeout)
-        except (RuntimeError, TimeoutError) as e:
-            print(f"  {ticket[:8]} FAILED: {e}")
-            failures += 1
-            continue
-        source = "cache" if result.cached else f"worker {result.worker_id}"
-        print(f"  {ticket[:8]} done via {source}: "
-              f"E_total={result.total_energy:.6f} "
-              f"T={result.temperature:.4f} "
-              f"({result.ts_per_s:.1f} steps/s, "
-              f"digest {result.state_digest[:12]}…)")
-    return 1 if failures else 0
-
-
-def _cmd_certify(args: argparse.Namespace) -> int:
-    from repro.md.restart import SnapshotError
-    from repro.reliability.certify import (
-        CertificationError,
-        DigestChainError,
-        ManifestError,
-        audit_cache,
-        certify_run,
-    )
-
-    if (args.run_dir is None) == (args.cache is None):
-        print("give exactly one of a run directory or --cache DIR")
-        return 2
-    if args.cache is not None:
-        report = audit_cache(
-            args.cache,
-            replay=args.replay,
-            limit=args.limit,
-            seed=args.seed,
-            logger=print,
-        )
-        for key, problem in report.findings:
-            print(f"FINDING {key[:16]}…: {problem}")
-        for key, reason in report.skipped.items():
-            print(f"skipped {key[:16]}…: {reason}")
-        return 0 if report.ok else 1
-    deck_text = None
-    if args.deck is not None:
-        deck_text = open(args.deck).read()
-    try:
-        report = certify_run(
-            args.run_dir,
-            seed=args.seed,
-            at_step=args.at_step,
-            backend=args.backend,
-            precision=args.precision,
-            workers=args.workers,
-            deck_text=deck_text,
-            logger=print,
-        )
-    except (CertificationError, DigestChainError, ManifestError,
-            SnapshotError) as exc:
-        print(f"CERTIFICATION FAILED ({type(exc).__name__}): {exc}")
-        return 1
-    for line in report.checks:
-        print(f"  {line}")
-    return 0
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="IISWC'22 MD-characterization reproduction toolkit",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    campaign = sub.add_parser("campaign", help="run a simulated campaign")
-    campaign.add_argument("--platform", choices=("cpu", "gpu"), default="cpu")
-    campaign.add_argument("--benchmarks", nargs="*", default=None)
-    campaign.add_argument("--sizes", nargs="*", type=int, default=None,
-                          help="system sizes in thousands of atoms")
-    campaign.add_argument("--resources", nargs="*", type=int, default=None,
-                          help="MPI ranks (cpu) or devices (gpu)")
-    campaign.add_argument("--out", default="campaign_output")
-    campaign.set_defaults(func=_cmd_campaign)
-
-    figure = sub.add_parser("figure", help="regenerate one table/figure")
-    figure.add_argument("name", choices=FIGURES)
-    figure.set_defaults(func=_cmd_figure)
-
-    anchors = sub.add_parser("anchors", help="paper-vs-measured scoreboard")
-    anchors.set_defaults(func=_cmd_anchors)
-
-    run_deck = sub.add_parser("run-deck", help="execute a LAMMPS input deck")
-    run_deck.add_argument("deck", help="path to the input script")
-    run_deck.set_defaults(func=_cmd_run_deck)
-
-    trace = sub.add_parser("trace", help="trace a functional benchmark run")
-    trace.add_argument("experiment", choices=BENCHMARK_NAMES)
-    trace.add_argument("--steps", type=int, default=50)
-    trace.add_argument("--atoms", type=int, default=500,
-                       help="target atom count (builders round to lattice)")
-    trace.add_argument("--warmup", type=int, default=5,
-                       help="untraced steps before recording starts")
-    trace.add_argument("--out", default="trace_out")
-    trace.add_argument("--capacity", type=int, default=65_536,
-                       help="span ring-buffer capacity")
-    trace.add_argument("--snapshot-every", type=int, default=10,
-                       help="steps between metrics snapshots")
-    trace.set_defaults(func=_cmd_trace)
-
-    power = sub.add_parser(
-        "power", help="measure per-phase energy with hardware telemetry"
-    )
-    power.add_argument("experiment", nargs="?", default="lj",
-                       choices=BENCHMARK_NAMES)
-    power.add_argument("--steps", type=int, default=40)
-    power.add_argument("--atoms", type=int, default=32768,
-                       help="target atom count (builders round to lattice)")
-    power.add_argument("--warmup", type=int, default=3,
-                       help="untraced/unsampled steps before measurement")
-    power.add_argument("--provider", choices=("rapl", "procfs", "model"),
-                       default=None,
-                       help="force a power provider (default: auto-detect "
-                            "rapl -> procfs -> model, or "
-                            "$REPRO_POWER_PROVIDER)")
-    power.add_argument("--period", type=float, default=0.5,
-                       help="sampling period in seconds (paper cadence 0.5)")
-    power.add_argument("--report-every", type=int, default=10,
-                       help="steps between live power readouts")
-    power.add_argument("--capacity", type=int, default=65_536,
-                       help="span ring-buffer capacity")
-    power.add_argument("--json", default=None, metavar="PATH",
-                       help="write the full energy report as JSON")
-    power.add_argument("--trace", default=None, metavar="PATH",
-                       help="also write the Chrome trace of the sampled run")
-    power.set_defaults(func=_cmd_power)
-
-    scale = sub.add_parser(
-        "scale", help="run on the shared-memory parallel engine"
-    )
-    scale.add_argument("experiment", choices=BENCHMARK_NAMES)
-    scale.add_argument("--workers", type=int, default=2,
-                       help="worker process count (one subdomain each)")
-    scale.add_argument("--steps", type=int, default=20)
-    scale.add_argument("--atoms", type=int, default=2000,
-                       help="target atom count (builders round to lattice)")
-    scale.add_argument("--checkpoint-every", type=int, default=0,
-                       help="periodic checkpoint cadence in steps (0 = off)")
-    scale.add_argument("--checkpoint-dir", default="checkpoint_out",
-                       help="directory for --checkpoint-every snapshots")
-    scale.add_argument("--backend", default=None, metavar="NAME",
-                       help="kernel backend (numpy_ref, numpy_fast, "
-                            "compiled); an unavailable optional backend "
-                            "falls back to numpy_fast with the reason "
-                            "printed, an unknown name lists what exists")
-    scale.add_argument("--precision", choices=("single", "mixed", "double"),
-                       default="double",
-                       help="dtype policy for both the serial reference and "
-                            "the worker pool (parity tolerance scales with "
-                            "the mode)")
-    scale.set_defaults(func=_cmd_scale)
-
-    checkpoint = sub.add_parser(
-        "checkpoint",
-        help="run under periodic checkpointing with crash recovery",
-    )
-    checkpoint.add_argument("experiment", choices=BENCHMARK_NAMES)
-    checkpoint.add_argument("--steps", type=int, default=40)
-    checkpoint.add_argument("--atoms", type=int, default=500,
-                            help="target atom count (builders round to lattice)")
-    checkpoint.add_argument("--workers", type=int, default=1,
-                            help="worker processes (1 = serial executor)")
-    checkpoint.add_argument("--every", type=int, default=10,
-                            help="checkpoint cadence in steps")
-    checkpoint.add_argument("--keep-last", type=int, default=3,
-                            help="checkpoint retention depth")
-    checkpoint.add_argument("--out", default="checkpoint_out",
-                            help="checkpoint directory")
-    checkpoint.add_argument("--fault-plan", default=None,
-                            help="inject faults: kind:worker:step[:phase];... "
-                                 "(kinds kill/hang; phases step/rebuild/"
-                                 "checkpoint)")
-    checkpoint.add_argument("--max-restarts", type=int, default=2,
-                            help="pool respawns before degrading to serial")
-    checkpoint.add_argument("--barrier-timeout", type=float, default=30.0,
-                            help="seconds before a silent worker is declared "
-                                 "hung")
-    checkpoint.add_argument("--verify-parity", action="store_true",
-                            help="re-run uninterrupted and compare final state")
-    checkpoint.add_argument("--precision",
-                            choices=("single", "mixed", "double"),
-                            default="double",
-                            help="dtype policy; checkpoints record it and "
-                                 "restarts refuse a silent mode change")
-    checkpoint.set_defaults(func=_cmd_checkpoint)
-
-    serve = sub.add_parser(
-        "serve",
-        help="run the batch-simulation service over a file spool",
-    )
-    serve.add_argument("--spool", default="service_spool",
-                       help="spool directory shared with submitters")
-    serve.add_argument("--workers", type=int, default=2,
-                       help="pool size: jobs executed concurrently")
-    serve.add_argument("--cache-entries", type=int, default=1024,
-                       help="memory-layer bound of the result cache")
-    serve.add_argument("--max-requeues", type=int, default=2,
-                       help="pool-worker deaths one job survives")
-    serve.add_argument("--poll", type=float, default=0.1,
-                       help="spool polling period in seconds")
-    serve.add_argument("--max-seconds", type=float, default=None,
-                       help="exit (with drain) after this long; default "
-                            "runs until SIGTERM/SIGINT")
-    serve.set_defaults(func=_cmd_serve)
-
-    submit = sub.add_parser(
-        "submit", help="submit jobs to a running `repro serve`"
-    )
-    submit.add_argument("experiment", nargs="?", default=None,
-                        choices=BENCHMARK_NAMES,
-                        help="suite benchmark (or use --deck)")
-    submit.add_argument("--deck", default=None, metavar="PATH",
-                        help="submit a LAMMPS input deck instead")
-    submit.add_argument("--spool", default="service_spool",
-                        help="spool directory of the server")
-    submit.add_argument("--atoms", type=int, default=500,
-                        help="target atom count (builders round to lattice)")
-    submit.add_argument("--steps", type=int, default=100)
-    submit.add_argument("--seed", type=int, default=None,
-                        help="builder seed (default: benchmark's own)")
-    submit.add_argument("--precision", choices=("single", "mixed", "double"),
-                        default="double")
-    submit.add_argument("--backend", default=None, metavar="NAME",
-                        help="kernel backend (numpy_ref, numpy_fast, "
-                             "compiled, auto)")
-    submit.add_argument("--workers", type=int, default=1,
-                        help="engine workers per job (1 = serial)")
-    submit.add_argument("--tag", default=None, help="free-form job label")
-    submit.add_argument("--repeat", type=int, default=1,
-                        help="submit the same spec N times (dedup demo)")
-    submit.add_argument("--no-wait", action="store_true",
-                        help="print tickets and exit without waiting")
-    submit.add_argument("--timeout", type=float, default=600.0,
-                        help="seconds to wait per ticket")
-    submit.set_defaults(func=_cmd_submit)
-
-    certify = sub.add_parser(
-        "certify",
-        help="verify a certified run directory by replay (or audit a "
-             "service result cache with --cache)",
-    )
-    certify.add_argument("run_dir", nargs="?", default=None,
-                         help="run directory holding checkpoints, "
-                              "digests.jsonl, and manifest.json")
-    certify.add_argument("--cache", default=None, metavar="DIR",
-                         help="audit a service result cache instead of a "
-                              "run directory")
-    certify.add_argument("--seed", type=int, default=None,
-                         help="seed for the interval (or cache-sample) "
-                              "choice; default picks randomly")
-    certify.add_argument("--at-step", type=int, default=None,
-                         help="pin the replayed interval to the one "
-                              "starting at this checkpoint step")
-    certify.add_argument("--backend", default=None, metavar="NAME",
-                         help="replay on this kernel backend instead of "
-                              "the manifest's (forces a cross-mode "
-                              "verdict)")
-    certify.add_argument("--precision",
-                         choices=("single", "mixed", "double"),
-                         default=None,
-                         help="replay at this precision instead of the "
-                              "manifest's (forces a cross-mode verdict)")
-    certify.add_argument("--workers", type=int, default=None,
-                         help="replay on this many engine workers instead "
-                              "of the manifest's")
-    certify.add_argument("--deck", default=None, metavar="PATH",
-                         help="deck text for deck-based manifests (hash "
-                              "must match the sealed deck_sha256)")
-    certify.add_argument("--replay", action="store_true",
-                         help="with --cache: also re-execute entries and "
-                              "compare chain heads")
-    certify.add_argument("--limit", type=int, default=None,
-                         help="with --cache --replay: at most this many "
-                              "re-executions")
-    certify.set_defaults(func=_cmd_certify)
-
-    args = parser.parse_args(argv)
-    return args.func(args)
-
+__all__ = ["main"]
 
 if __name__ == "__main__":
     sys.exit(main())

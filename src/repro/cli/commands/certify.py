@@ -1,0 +1,108 @@
+"""``certify`` — replay-verify a certified run directory or audit a cache."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli import command
+from repro.cli.options import (
+    add_backend_option,
+    add_precision_option,
+    add_workers_option,
+)
+
+
+def _configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("run_dir", nargs="?", default=None,
+                        help="run directory holding checkpoints, "
+                             "digests.jsonl, and manifest.json")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="audit a service result cache instead of a "
+                             "run directory")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="seed for the interval (or cache-sample) "
+                             "choice; default picks randomly")
+    parser.add_argument("--at-step", type=int, default=None,
+                        help="pin the replayed interval to the one "
+                             "starting at this checkpoint step")
+    add_backend_option(
+        parser,
+        help="replay on this kernel backend instead of the manifest's "
+             "(forces a cross-mode verdict)",
+    )
+    add_precision_option(
+        parser,
+        default=None,
+        help="replay at this precision instead of the manifest's "
+             "(forces a cross-mode verdict)",
+    )
+    add_workers_option(
+        parser,
+        default=None,
+        help="replay on this many engine workers instead of the "
+             "manifest's",
+    )
+    parser.add_argument("--deck", default=None, metavar="PATH",
+                        help="deck text for deck-based manifests (hash "
+                             "must match the sealed deck_sha256)")
+    parser.add_argument("--replay", action="store_true",
+                        help="with --cache: also re-execute entries and "
+                             "compare chain heads")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="with --cache --replay: at most this many "
+                             "re-executions")
+
+
+@command(
+    "certify",
+    "verify a certified run directory by replay (or audit a "
+    "service result cache with --cache)",
+    configure=_configure,
+)
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from repro.md.restart import SnapshotError
+    from repro.reliability.certify import (
+        CertificationError,
+        DigestChainError,
+        ManifestError,
+        audit_cache,
+        certify_run,
+    )
+
+    if (args.run_dir is None) == (args.cache is None):
+        print("give exactly one of a run directory or --cache DIR")
+        return 2
+    if args.cache is not None:
+        report = audit_cache(
+            args.cache,
+            replay=args.replay,
+            limit=args.limit,
+            seed=args.seed,
+            logger=print,
+        )
+        for key, problem in report.findings:
+            print(f"FINDING {key[:16]}…: {problem}")
+        for key, reason in report.skipped.items():
+            print(f"skipped {key[:16]}…: {reason}")
+        return 0 if report.ok else 1
+    deck_text = None
+    if args.deck is not None:
+        deck_text = open(args.deck).read()
+    try:
+        report = certify_run(
+            args.run_dir,
+            seed=args.seed,
+            at_step=args.at_step,
+            backend=args.backend,
+            precision=args.precision,
+            workers=args.workers,
+            deck_text=deck_text,
+            logger=print,
+        )
+    except (CertificationError, DigestChainError, ManifestError,
+            SnapshotError) as exc:
+        print(f"CERTIFICATION FAILED ({type(exc).__name__}): {exc}")
+        return 1
+    for line in report.checks:
+        print(f"  {line}")
+    return 0

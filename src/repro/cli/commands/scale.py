@@ -1,0 +1,153 @@
+"""``scale`` — run on the shared-memory parallel engine with parity checks."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli import command
+from repro.cli.options import (
+    add_backend_option,
+    add_precision_option,
+    add_workers_option,
+)
+from repro.suite import BENCHMARK_NAMES
+
+
+def _configure(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("experiment", choices=BENCHMARK_NAMES)
+    add_workers_option(parser, default=2,
+                       help="worker process count (one subdomain each)")
+    parser.add_argument("--steps", type=int, default=20)
+    parser.add_argument("--atoms", type=int, default=2000,
+                        help="target atom count (builders round to lattice)")
+    parser.add_argument("--checkpoint-every", type=int, default=0,
+                        help="periodic checkpoint cadence in steps (0 = off)")
+    parser.add_argument("--checkpoint-dir", default="checkpoint_out",
+                        help="directory for --checkpoint-every snapshots")
+    add_backend_option(parser)
+    add_precision_option(
+        parser,
+        help="dtype policy for both the serial reference and the worker "
+             "pool (parity tolerance scales with the mode)",
+    )
+
+
+@command(
+    "scale",
+    "run on the shared-memory parallel engine",
+    configure=_configure,
+)
+def _cmd_scale(args: argparse.Namespace) -> int:
+    import os
+
+    import numpy as np
+
+    from repro.md import RunConfig
+    from repro.md.precision import PARITY_TOLERANCES
+    from repro.parallel.engine import ParallelForceExecutor
+    from repro.suite import get_benchmark
+
+    bench = get_benchmark(args.experiment)
+    quasi_2d = args.experiment == "chute"
+
+    backend_name = None
+    if args.backend:
+        from repro.md.kernels import (
+            backend_diagnostics,
+            backend_spec,
+            get_backend,
+        )
+
+        # get_backend degrades an unavailable optional backend to the
+        # default with a warning; surface the reason on the CLI too.
+        backend_name = backend_spec(get_backend(args.backend))
+        if backend_name != args.backend:
+            print(f"backend {args.backend!r} is unavailable "
+                  f"({backend_diagnostics().get(args.backend, 'unknown')}); "
+                  f"using {backend_name!r}")
+
+    serial = bench.build(args.atoms)
+    serial.set_precision(args.precision)
+    if backend_name:
+        serial.set_backend(backend_name)
+    serial.setup()
+    print(f"built {args.experiment}: {serial.system.n_atoms} atoms, "
+          f"{os.cpu_count()} cores visible; running {args.steps} steps at "
+          f"{args.precision} precision on the {serial.backend.name} "
+          f"backend, serial then on {args.workers} workers")
+    import time as _time
+
+    tick = _time.perf_counter()
+    cpu_tick = _time.process_time()
+    serial.run(RunConfig(steps=args.steps, reset_timers=True))
+    serial_wall = _time.perf_counter() - tick
+    serial_cpu = _time.process_time() - cpu_tick
+    serial_pair = serial.timers.seconds.get("Pair", 0.0)
+
+    manager = None
+    if args.checkpoint_every > 0:
+        from repro.reliability import CheckpointManager
+
+        manager = CheckpointManager(
+            args.checkpoint_dir, every=args.checkpoint_every
+        )
+        print(f"checkpointing every {args.checkpoint_every} steps "
+              f"under {args.checkpoint_dir}")
+
+    parallel = bench.build(args.atoms)
+    parallel.set_precision(args.precision)
+    if backend_name:
+        parallel.set_backend(backend_name)
+    executor = ParallelForceExecutor(
+        args.workers, quasi_2d=quasi_2d, precision=args.precision
+    )
+    parallel.force_executor = executor
+    executor.bind(parallel)
+    with parallel:
+        parallel.setup()
+        # Drop the setup-time initial build from the accumulators; the
+        # serial side's reset_timers does the same for its task timers.
+        executor.reset_timings()
+        storage = np.dtype(executor.precision.storage_dtype)
+        print(f"shm arena: {executor.arena_nbytes / 1e6:.2f} MB "
+              f"({storage.name} per-atom exchange state)")
+        tick = _time.perf_counter()
+        cpu_tick = _time.process_time()
+        parallel.run(
+            RunConfig(steps=args.steps, reset_timers=True, checkpoint=manager)
+        )
+        parallel_wall = _time.perf_counter() - tick
+        master_cpu = _time.process_time() - cpu_tick
+        if manager is not None:
+            print(f"wrote {manager.writes} checkpoints, retained "
+                  f"{[p.name for p in manager.checkpoints()]}")
+
+        force_delta = float(
+            np.abs(serial.system.forces - parallel.system.forces).max()
+        )
+        energy_delta = abs(serial.potential_energy - parallel.potential_energy)
+        parity_tol = PARITY_TOLERANCES[args.precision]
+        print(f"parity: |dF|max = {force_delta:.3e}, "
+              f"|dE| = {energy_delta:.3e} "
+              f"(tol {parity_tol:.0e}, "
+              f"{'OK' if force_delta < parity_tol else 'DIVERGED'})")
+        print(f"serial:   {args.steps / serial_wall:8.2f} steps/s "
+              f"({serial_wall:.3f} s wall, Pair {serial_pair:.3f} s)")
+        print(f"parallel: {args.steps / parallel_wall:8.2f} steps/s "
+              f"({parallel_wall:.3f} s wall)")
+        steps = max(1, executor.steps_measured)
+        # Critical path under true concurrency: master CPU per step plus
+        # the slowest worker's (pair + amortized rebuild) CPU per step.
+        # CPU time is scheduling-invariant, so this holds on hosts with
+        # fewer cores than workers (where wall clock just serializes).
+        worker_cpu = (
+            executor.worker_pair_cpu_seconds + executor.worker_neigh_cpu_seconds
+        ) / steps
+        critical = master_cpu / args.steps + float(worker_cpu.max())
+        print(f"wall-clock speedup:     {serial_wall / parallel_wall:.2f}x")
+        print(f"critical-path speedup:  {serial_cpu / args.steps / critical:.2f}x "
+              f"(slowest worker pair+rebuild CPU: {worker_cpu.max()*1e3:.2f} "
+              f"ms/step)")
+        print()
+        print(executor.timeline().render())
+    return 0 if force_delta < parity_tol else 1

@@ -13,14 +13,14 @@ Supported commands::
     atom_style      <any>              (metadata only)
     dimension       3
     boundary        p p p
-    lattice         fcc <density|a> | sc <density|a>
+    lattice         fcc <density|a> | sc <density|a> | diamond <a>
     region          <id> block <xlo> <xhi> <ylo> <yhi> <zlo> <zhi>
     create_box      <ntypes> <region-id>
     create_atoms    <type> box
     mass            <type> <mass>
     velocity        all create <T> <seed> [ignored options...]
-    pair_style      lj/cut <cutoff> | soft <cutoff>
-    pair_coeff      <i|*> <j|*> <coeffs...>
+    pair_style      lj/cut <cutoff> | soft <cutoff> | tersoff
+    pair_coeff      <i|*> <j|*> <coeffs...>     (file args for tersoff)
     neighbor        <skin> bin
     neigh_modify    ...                 (accepted, informational)
     fix             <id> all nve
@@ -46,9 +46,10 @@ from repro.md.atoms import AtomSystem
 from repro.md.box import Box
 from repro.md.fixes import LangevinThermostat
 from repro.md.integrators import NoseHooverNVT, VelocityVerletNVE
-from repro.md.lattice import fcc_positions, sc_positions
+from repro.md.lattice import diamond_positions, fcc_positions, sc_positions
 from repro.md.potentials.lj import LennardJonesCut
 from repro.md.potentials.soft import SoftRepulsion
+from repro.md.potentials.tersoff import Tersoff
 from repro.md.simulation import Simulation
 
 __all__ = ["DeckError", "ParsedDeck", "parse_deck", "run_deck"]
@@ -192,11 +193,11 @@ def _cmd_boundary(state: _DeckState, args: list[str]) -> None:
 
 def _cmd_lattice(state: _DeckState, args: list[str]) -> None:
     style, value = args[0], float(args[1])
-    if style not in ("fcc", "sc"):
+    if style not in ("fcc", "sc", "diamond"):
         raise DeckError(f"unsupported lattice style {style!r}")
     state.lattice_style = style
     state.lattice_value = value
-    atoms_per_cell = 4 if style == "fcc" else 1
+    atoms_per_cell = {"fcc": 4, "sc": 1, "diamond": 8}[style]
     if state.units == "lj":
         # LAMMPS lj units: the value is a reduced *density*.
         state.lattice_constant = (atoms_per_cell / value) ** (1.0 / 3.0)
@@ -230,7 +231,11 @@ def _cmd_create_atoms(state: _DeckState, args: list[str]) -> None:
         raise DeckError("region must span at least one lattice cell")
     if nx != ny or ny != nz:
         raise DeckError("only cubic regions are supported")
-    builder = fcc_positions if state.lattice_style == "fcc" else sc_positions
+    builder = {
+        "fcc": fcc_positions,
+        "sc": sc_positions,
+        "diamond": diamond_positions,
+    }[state.lattice_style]
     positions, box = builder(nx, state.lattice_constant)
     state.system = AtomSystem(
         positions, box, types=np.full(len(positions), atom_type, dtype=np.int64)
@@ -256,15 +261,27 @@ def _cmd_velocity(state: _DeckState, args: list[str]) -> None:
 
 def _cmd_pair_style(state: _DeckState, args: list[str]) -> None:
     style = args[0]
-    if style not in ("lj/cut", "soft"):
+    if style not in ("lj/cut", "soft", "tersoff"):
         raise DeckError(f"unsupported pair_style {style!r}")
     state.pair_style = style
-    state.pair_cutoff = float(args[1])
+    if style == "tersoff":
+        # LAMMPS takes no cutoff here; it lives in the parameter set.
+        state.pair_cutoff = Tersoff().cutoff
+    else:
+        state.pair_cutoff = float(args[1])
 
 
 def _cmd_pair_coeff(state: _DeckState, args: list[str]) -> None:
     if state.pair_style is None:
         raise DeckError("pair_coeff before pair_style")
+
+    if state.pair_style == "tersoff":
+        # LAMMPS form is ``pair_coeff * * <file> <elements...>``; the
+        # single-species T3 silicon set is built in, so the tokens are
+        # accepted as provenance metadata only.
+        if args[:2] != ["*", "*"]:
+            raise DeckError("tersoff pair_coeff must be '* * <file> <elem>'")
+        return
 
     def type_index(token: str) -> int:
         return 0 if token == "*" else int(token) - 1
@@ -320,6 +337,8 @@ def _cmd_run(state: _DeckState, args: list[str]) -> None:
 
 def _build_potential(state: _DeckState):
     n_types = max(state.n_types, 1)
+    if state.pair_style == "tersoff":
+        return Tersoff()
     if state.pair_style == "soft":
         coeffs = state.pair_coeffs.get((0, 0), (1.0,))
         return SoftRepulsion(coeffs[0], state.pair_cutoff)

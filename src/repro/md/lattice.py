@@ -30,9 +30,11 @@ from repro.md.potentials.soft import SoftRepulsion
 __all__ = [
     "fcc_positions",
     "sc_positions",
+    "diamond_positions",
     "lj_melt_system",
     "polymer_melt_system",
     "eam_solid_system",
+    "tersoff_silicon_system",
     "chute_system",
     "rhodopsin_proxy_system",
     "RhodopsinProxy",
@@ -66,6 +68,26 @@ def sc_positions(n_cells: int, a: float) -> tuple[np.ndarray, Box]:
     grid = np.array(np.meshgrid(cells, cells, cells, indexing="ij")).reshape(3, -1).T
     box = Box(np.full(3, n_cells * a))
     return (grid + 0.5) * a, box
+
+
+def diamond_positions(n_cells: int, a: float) -> tuple[np.ndarray, Box]:
+    """``n_cells^3`` diamond-cubic cells (8 atoms each) of constant ``a``.
+
+    The diamond structure is two interpenetrating fcc lattices offset by
+    a quarter of the body diagonal — silicon's crystal structure, the
+    geometry the Tersoff benchmark starts from.
+    """
+    if n_cells < 1:
+        raise ValueError("n_cells must be >= 1")
+    fcc = np.array(
+        [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]]
+    )
+    basis = np.concatenate([fcc, fcc + 0.25])
+    cells = np.arange(n_cells)
+    grid = np.array(np.meshgrid(cells, cells, cells, indexing="ij")).reshape(3, -1).T
+    positions = (grid[:, None, :] + basis[None, :, :]).reshape(-1, 3) * a
+    box = Box(np.full(3, n_cells * a))
+    return positions, box
 
 
 def _cells_for_atoms(n_atoms: int, atoms_per_cell: int) -> int:
@@ -196,6 +218,29 @@ def eam_solid_system(
     n_cells = _cells_for_atoms(n_atoms, 4)
     positions, box = fcc_positions(n_cells, lattice_constant)
     system = AtomSystem(positions, box, masses=63.546)
+    system.seed_velocities(temperature, np.random.default_rng(seed))
+    return system
+
+
+# ---------------------------------------------------------------------------
+# Tersoff silicon solid (the "tersoff" benchmark)
+# ---------------------------------------------------------------------------
+def tersoff_silicon_system(
+    n_atoms: int = 512,
+    *,
+    lattice_constant: float = 5.431,
+    temperature: float = 0.04,
+    seed: int = 1988,
+) -> AtomSystem:
+    """Silicon diamond-cubic solid; lengths in Angstrom, energy in eV.
+
+    ``temperature`` follows the engine's reduced convention used by
+    :func:`eam_solid_system` (a small thermal jitter on a cold crystal);
+    the seed defaults to the Tersoff-paper year for greppability.
+    """
+    n_cells = _cells_for_atoms(n_atoms, 8)
+    positions, box = diamond_positions(n_cells, lattice_constant)
+    system = AtomSystem(positions, box, masses=28.0855)
     system.seed_velocities(temperature, np.random.default_rng(seed))
     return system
 

@@ -7,7 +7,9 @@ One module per family, mirroring the paper's Table 2 "Force field" row:
 * :mod:`repro.md.potentials.charmm` — CHARMM-style LJ-switch + long-range
   Coulomb pair part (Rhodopsin);
 * :mod:`repro.md.potentials.granular` — Hookean frictional contact with
-  tangential history (Chute).
+  tangential history (Chute);
+* :mod:`repro.md.potentials.tersoff` — three-body bond-order covalent
+  solid (Tersoff silicon).
 """
 
 from repro.md.potentials.base import ForceResult, PairPotential
@@ -18,6 +20,7 @@ from repro.md.potentials.lj import LennardJonesCut
 from repro.md.potentials.mixing import mix_epsilon, mix_sigma
 from repro.md.potentials.soft import SoftRepulsion
 from repro.md.potentials.table import TabulatedPair
+from repro.md.potentials.tersoff import Tersoff, TersoffParameters
 
 __all__ = [
     "ForceResult",
@@ -31,4 +34,6 @@ __all__ = [
     "mix_sigma",
     "SoftRepulsion",
     "TabulatedPair",
+    "Tersoff",
+    "TersoffParameters",
 ]

@@ -34,8 +34,10 @@ from repro.observability.telemetry.attribution import (
     render_energy_table,
 )
 from repro.observability.telemetry.providers import (
+    EXPLICIT_PROVIDERS,
     PROVIDER_ENV_VAR,
     PROVIDER_ORDER,
+    DramRaplProvider,
     IntervalSample,
     ModelProvider,
     PowerProvider,
@@ -56,10 +58,12 @@ __all__ = [
     "IntervalSample",
     "PowerProvider",
     "RaplProvider",
+    "DramRaplProvider",
     "ProcStatProvider",
     "ModelProvider",
     "PROVIDER_ENV_VAR",
     "PROVIDER_ORDER",
+    "EXPLICIT_PROVIDERS",
     "detect_provider",
     "provider_diagnostics",
     "local_instance_spec",

@@ -42,22 +42,31 @@ __all__ = [
     "IntervalSample",
     "PowerProvider",
     "RaplProvider",
+    "DramRaplProvider",
     "ProcStatProvider",
     "ModelProvider",
     "PROVIDER_ENV_VAR",
     "PROVIDER_ORDER",
+    "EXPLICIT_PROVIDERS",
     "detect_provider",
     "provider_diagnostics",
     "local_instance_spec",
 ]
 
-#: Environment override: ``rapl``, ``procfs`` or ``model`` forces one
-#: provider (the CI telemetry smoke forces ``model`` so the job runs
-#: identically on bare metal and in containers without powercap).
+#: Environment override: ``rapl``, ``dram``, ``procfs`` or ``model``
+#: forces one provider (the CI telemetry smoke forces ``model`` so the
+#: job runs identically on bare metal and in containers without
+#: powercap).
 PROVIDER_ENV_VAR = "REPRO_POWER_PROVIDER"
 
 #: Auto-detection order, best evidence first.
 PROVIDER_ORDER = ("rapl", "procfs", "model")
+
+#: Providers that are valid only when explicitly requested.  ``dram``
+#: measures the memory controller alone — a *component* of package
+#: power — so auto-detection must never silently substitute it for a
+#: node-power reading.
+EXPLICIT_PROVIDERS = ("dram",)
 
 #: Default sysfs root for the RAPL powercap hierarchy.
 RAPL_SYSFS_ROOT = "/sys/class/powercap"
@@ -161,6 +170,8 @@ class RaplProvider(PowerProvider):
 
     name = "rapl"
     kind = "measured"
+    #: What the discovery hook should report when it finds nothing.
+    _missing = "no readable intel-rapl package domain under"
 
     def __init__(
         self,
@@ -170,7 +181,7 @@ class RaplProvider(PowerProvider):
     ) -> None:
         self.root = Path(root)
         self._clock = clock
-        self.domains = _discover_rapl_domains(self.root)
+        self.domains = self._discover(self.root)
         if not self.domains:
             raise RuntimeError(self.diagnostic(self.root))
         self._last_uj: list[int] = []
@@ -178,16 +189,20 @@ class RaplProvider(PowerProvider):
         self.reset()
 
     @staticmethod
-    def available(root: str | Path = RAPL_SYSFS_ROOT) -> bool:
-        return bool(_discover_rapl_domains(root))
+    def _discover(root: str | Path) -> list[RaplDomain]:
+        return _discover_rapl_domains(root)
 
-    @staticmethod
-    def diagnostic(root: str | Path = RAPL_SYSFS_ROOT) -> str:
+    @classmethod
+    def available(cls, root: str | Path = RAPL_SYSFS_ROOT) -> bool:
+        return bool(cls._discover(root))
+
+    @classmethod
+    def diagnostic(cls, root: str | Path = RAPL_SYSFS_ROOT) -> str:
         root = Path(root)
         if not root.is_dir():
             return f"no powercap sysfs at {root}"
-        if not _discover_rapl_domains(root):
-            return f"no readable intel-rapl package domain under {root}"
+        if not cls._discover(root):
+            return f"{cls._missing} {root}"
         return "available"
 
     def reset(self) -> None:
@@ -214,6 +229,57 @@ class RaplProvider(PowerProvider):
             "kind": self.kind,
             "domains": [d.label for d in self.domains],
         }
+
+
+def _discover_dram_domains(root: str | Path) -> list[RaplDomain]:
+    """Readable DRAM subdomains (``intel-rapl:<n>:<m>`` named ``dram``).
+
+    Powercap lists subdomains flat next to their packages; the ``name``
+    attribute (not the position) says which component a subdomain
+    meters, so every two-colon entry is probed and only the memory
+    controllers kept.  One per package on multi-socket nodes — they sum
+    the same way package domains do, and each carries its own
+    ``max_energy_range_uj`` (typically far smaller than the package's,
+    so wraps are *more* frequent, not less).
+    """
+    root = Path(root)
+    domains: list[RaplDomain] = []
+    if not root.is_dir():
+        return domains
+    for entry in sorted(root.iterdir()):
+        name = entry.name
+        if not name.startswith("intel-rapl:") or name.count(":") != 2:
+            continue
+        try:
+            if (entry / "name").read_text().strip() != "dram":
+                continue
+            int((entry / "energy_uj").read_text().strip())  # readability probe
+            max_range = int((entry / "max_energy_range_uj").read_text().strip())
+        except (OSError, ValueError):
+            continue
+        package = name.rsplit(":", 1)[0]
+        domains.append(RaplDomain(entry, f"{package}/dram", max_range))
+    return domains
+
+
+class DramRaplProvider(RaplProvider):
+    """Measured memory-controller energy from the RAPL DRAM subdomains.
+
+    Same counter semantics as :class:`RaplProvider` (cumulative
+    microjoules, wrap at ``max_energy_range_uj``) but scoped to the
+    DRAM plane — the quantity the paper's memory-bound workloads
+    (``eam``, ``rhodo``) move.  Explicit-request-only: DRAM power is a
+    component of package power, so auto-detection never substitutes it
+    for a node reading (see :data:`EXPLICIT_PROVIDERS`).
+    """
+
+    name = "dram"
+    kind = "measured"
+    _missing = "no readable intel-rapl dram subdomain under"
+
+    @staticmethod
+    def _discover(root: str | Path) -> list[RaplDomain]:
+        return _discover_dram_domains(root)
 
 
 # ---------------------------------------------------------------------------
@@ -430,6 +496,7 @@ def provider_diagnostics(
     """Availability (or the reason for unavailability) per provider."""
     return {
         "rapl": RaplProvider.diagnostic(rapl_root),
+        "dram": DramRaplProvider.diagnostic(rapl_root),
         "procfs": ProcStatProvider.diagnostic(stat_path),
         "model": ModelProvider.diagnostic(),
     }
@@ -448,17 +515,21 @@ def detect_provider(
     (silently degrading an explicit request is exactly the synthetic-
     numbers trap the Gromacs paper warns about); auto-detection walks
     rapl -> procfs -> model and always succeeds because the model rung
-    has no preconditions.
+    has no preconditions.  ``dram`` is valid only as an explicit
+    request — it meters one component, never the node.
     """
     requested = requested or os.environ.get(PROVIDER_ENV_VAR) or None
     if requested is not None:
-        if requested not in PROVIDER_ORDER:
+        known = PROVIDER_ORDER + EXPLICIT_PROVIDERS
+        if requested not in known:
             raise ValueError(
                 f"unknown power provider {requested!r}; "
-                f"expected one of {PROVIDER_ORDER}"
+                f"expected one of {known}"
             )
         if requested == "rapl":
             return RaplProvider(rapl_root, clock=clock)
+        if requested == "dram":
+            return DramRaplProvider(rapl_root, clock=clock)
         if requested == "procfs":
             return ProcStatProvider(stat_path, clock=clock)
         return ModelProvider(clock=clock)

@@ -1,4 +1,4 @@
-"""The five-experiment MD benchmark suite (Section 3 / Table 2).
+"""The MD benchmark suite: the paper's five experiments plus Tersoff.
 
 Each benchmark module exposes
 
@@ -8,7 +8,8 @@ Each benchmark module exposes
   :class:`~repro.md.simulation.Simulation` at laptop scale,
 
 and the :data:`registry` maps the paper's benchmark names (``rhodo``,
-``lj``, ``chain``, ``eam``, ``chute``) to those modules.
+``lj``, ``chain``, ``eam``, ``chute``) plus the multi-body extension
+workload (``tersoff``) to those modules.
 """
 
 from repro.suite.base import BenchmarkDefinition, Taxonomy
@@ -16,6 +17,7 @@ from repro.suite.registry import (
     BENCHMARK_NAMES,
     CPU_BENCHMARKS,
     GPU_BENCHMARKS,
+    PAPER_BENCHMARKS,
     get_benchmark,
     registry,
 )
@@ -27,5 +29,6 @@ __all__ = [
     "get_benchmark",
     "BENCHMARK_NAMES",
     "CPU_BENCHMARKS",
+    "PAPER_BENCHMARKS",
     "GPU_BENCHMARKS",
 ]

@@ -1,0 +1,51 @@
+"""The "tersoff" benchmark: silicon covalent solid (sixth workload).
+
+Not one of the paper's Table 2 rows — added by the campaign orchestrator
+PR as the multi-body stressor: a three-body bond-order interaction whose
+triplet traversal has a workload shape none of the original five
+benchmarks exercises (the SCC17 reproduction paper in PAPERS.md
+documents its vectorization story).  Cutoff 3.0 Angstrom, 4 bonded
+first-shell neighbors in diamond cubic, NVE integration.
+"""
+
+from __future__ import annotations
+
+from repro.md.lattice import tersoff_silicon_system
+from repro.md.potentials.tersoff import Tersoff
+from repro.md.simulation import Simulation
+from repro.suite.base import BenchmarkDefinition, Taxonomy
+
+__all__ = ["TAXONOMY", "DEFINITION", "build"]
+
+TAXONOMY = Taxonomy(
+    name="tersoff",
+    min_atoms=32_000,
+    force_field="Tersoff",
+    cutoff=3.0,
+    cutoff_units="Angstrom",
+    neighbor_skin=1.0,
+    neighbors_per_atom=4,
+    integration="NVE",
+)
+
+
+def build(n_atoms: int = 512, seed: int = 1988) -> Simulation:
+    """Silicon diamond-cubic solid with the Tersoff bond-order potential."""
+    system = tersoff_silicon_system(n_atoms, seed=seed)
+    return Simulation(
+        system,
+        [Tersoff()],
+        dt=0.001,
+        skin=TAXONOMY.neighbor_skin,
+    )
+
+
+DEFINITION = BenchmarkDefinition(
+    taxonomy=TAXONOMY,
+    build=build,
+    # b_ij != b_ji: every directed pair is evaluated, so there is no
+    # Newton-pairing saving to model.
+    newton=False,
+    timestep_fs=1.0,  # covalent Si needs the stiff-bond 1 fs step
+    gpu_supported=False,
+)

@@ -55,11 +55,11 @@ class TestArtifactLayout:
 
 
 class TestCli:
-    def test_campaign_command(self, tmp_path, capsys):
+    def test_model_campaign_command(self, tmp_path, capsys):
         from repro.__main__ import main
 
         code = main([
-            "campaign", "--platform", "cpu", "--benchmarks", "lj",
+            "model-campaign", "--platform", "cpu", "--benchmarks", "lj",
             "--sizes", "32", "--resources", "4", "--out", str(tmp_path),
         ])
         assert code == 0

@@ -53,6 +53,39 @@ class TestInLj:
         assert deck.simulation.total_energy() == pytest.approx(e0, rel=5e-4)
 
 
+class TestInTersoff:
+    """The Tersoff silicon deck parses and runs on the real engine."""
+
+    def test_parses(self):
+        deck = parse_deck((DECKS_DIR / "in.tersoff").read_text())
+        assert deck.units == "metal"
+        assert deck.simulation.system.n_atoms == 8 * 4**3
+        assert deck.simulation.dt == pytest.approx(0.001)
+        from repro.md.potentials.tersoff import Tersoff
+
+        assert isinstance(deck.simulation.potentials[0], Tersoff)
+        assert deck.simulation.neighbor.full
+
+    def test_diamond_lattice_masses(self):
+        deck = parse_deck((DECKS_DIR / "in.tersoff").read_text())
+        assert np.all(deck.simulation.system.masses == pytest.approx(28.0855))
+
+    def test_energy_conserved(self):
+        deck = parse_deck((DECKS_DIR / "in.tersoff").read_text())
+        deck.simulation.setup()
+        e0 = deck.simulation.total_energy()
+        deck.run()
+        assert deck.simulation.counts.timesteps == 100
+        assert deck.simulation.total_energy() == pytest.approx(e0, rel=1e-6)
+
+    def test_tersoff_pair_coeff_validated(self):
+        text = (DECKS_DIR / "in.tersoff").read_text().replace(
+            "pair_coeff	* * Si.tersoff Si", "pair_coeff	1 1 Si.tersoff Si"
+        )
+        with pytest.raises(DeckError, match="tersoff pair_coeff"):
+            parse_deck(text)
+
+
 class TestCommandHandling:
     def test_comments_and_blanks_ignored(self):
         deck = parse_deck(IN_LJ + "\n# trailing comment\n\n")

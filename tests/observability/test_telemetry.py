@@ -15,6 +15,7 @@ import pytest
 from repro.observability import MetricsRegistry
 from repro.observability.telemetry import (
     UNTRACKED,
+    DramRaplProvider,
     IntervalSample,
     ModelProvider,
     ProcStatProvider,
@@ -88,8 +89,15 @@ def make_rapl_tree(
     *,
     max_range: int = 262_143_328_850,
     subdomains: bool = True,
+    dram: int | None = None,
+    dram_max_range: int = 65_712_999_613,
 ):
-    """Build a fake /sys/class/powercap hierarchy under ``root``."""
+    """Build a fake /sys/class/powercap hierarchy under ``root``.
+
+    ``dram`` adds an ``intel-rapl:<n>:1`` subdomain named ``dram`` per
+    package at that counter value (real DRAM planes carry a smaller
+    ``max_energy_range_uj`` than the package, hence the separate knob).
+    """
     root.mkdir(exist_ok=True)
     for index, (label, energy) in enumerate(packages.items()):
         domain = root / f"intel-rapl:{index}"
@@ -103,6 +111,12 @@ def make_rapl_tree(
             (sub / "energy_uj").write_text(f"{energy // 2}\n")
             (sub / "max_energy_range_uj").write_text(f"{max_range}\n")
             (sub / "name").write_text("core\n")
+        if dram is not None:
+            sub = root / f"intel-rapl:{index}:1"
+            sub.mkdir()
+            (sub / "energy_uj").write_text(f"{dram}\n")
+            (sub / "max_energy_range_uj").write_text(f"{dram_max_range}\n")
+            (sub / "name").write_text("dram\n")
     return root
 
 
@@ -195,6 +209,98 @@ class TestRaplProvider:
         assert record["provider"] == "rapl"
         assert record["kind"] == "measured"
         assert record["domains"] == ["package-0"]
+
+
+# ---------------------------------------------------------------------------
+# DRAM RAPL provider (explicit-request-only memory-controller plane)
+# ---------------------------------------------------------------------------
+class TestDramRaplProvider:
+    def test_discovers_only_dram_subdomains(self, tmp_path):
+        root = make_rapl_tree(
+            tmp_path / "powercap", {"package-0": 1000}, dram=500
+        )
+        provider = DramRaplProvider(root, clock=FakeClock())
+        assert [d.label for d in provider.domains] == ["intel-rapl:0/dram"]
+        # Neither the package counter nor the core subdomain leaks in.
+        assert all(d.path.name == "intel-rapl:0:1" for d in provider.domains)
+
+    def test_watts_exclude_package_and_core(self, tmp_path):
+        clock = FakeClock()
+        root = make_rapl_tree(
+            tmp_path / "powercap", {"package-0": 0}, dram=1_000_000
+        )
+        provider = DramRaplProvider(root, clock=clock)
+        # Package and core counters race ahead; only dram should count.
+        (root / "intel-rapl:0" / "energy_uj").write_text("90000000\n")
+        (root / "intel-rapl:0:0" / "energy_uj").write_text("40000000\n")
+        (root / "intel-rapl:0:1" / "energy_uj").write_text("5000000\n")
+        clock.advance(2.0)
+        sample = provider.sample()
+        assert sample.joules == pytest.approx(4.0)
+        assert sample.watts == pytest.approx(2.0)
+
+    def test_wraparound_uses_dram_range(self, tmp_path):
+        clock = FakeClock()
+        root = make_rapl_tree(
+            tmp_path / "powercap", {"package-0": 0},
+            dram=900_000, dram_max_range=1_000_000,
+        )
+        provider = DramRaplProvider(root, clock=clock)
+        # 900_000 -> 100_000 through the (smaller) dram range: +200_000 uJ.
+        (root / "intel-rapl:0" / "energy_uj").write_text("7\n")
+        (root / "intel-rapl:0:1" / "energy_uj").write_text("100000\n")
+        clock.advance(1.0)
+        assert provider.sample().joules == pytest.approx(0.2)
+
+    def test_multi_socket_dram_planes_sum(self, tmp_path):
+        clock = FakeClock()
+        root = make_rapl_tree(
+            tmp_path / "powercap", {"package-0": 0, "package-1": 0}, dram=0
+        )
+        provider = DramRaplProvider(root, clock=clock)
+        (root / "intel-rapl:0:1" / "energy_uj").write_text("1000000\n")
+        (root / "intel-rapl:1:1" / "energy_uj").write_text("3000000\n")
+        clock.advance(1.0)
+        assert provider.sample().joules == pytest.approx(4.0)
+
+    def test_unavailable_without_dram_subdomain(self, tmp_path):
+        root = make_rapl_tree(tmp_path / "powercap", {"package-0": 0})
+        assert not DramRaplProvider.available(root)
+        assert "dram subdomain" in DramRaplProvider.diagnostic(root)
+        with pytest.raises(RuntimeError, match="dram subdomain"):
+            DramRaplProvider(root)
+
+    def test_forced_provider_via_argument_and_env(self, tmp_path, monkeypatch):
+        root = make_rapl_tree(
+            tmp_path / "powercap", {"package-0": 0}, dram=0
+        )
+        provider = detect_provider("dram", rapl_root=root)
+        assert provider.name == "dram" and provider.kind == "measured"
+        monkeypatch.setenv(PROVIDER_ENV_VAR, "dram")
+        assert detect_provider(rapl_root=root).name == "dram"
+
+    def test_never_auto_selected(self, tmp_path):
+        # A tree with *only* dram planes readable: auto-detection must
+        # skip rapl (no package domain) and fall through the ladder,
+        # not silently substitute the component reading.
+        root = make_rapl_tree(
+            tmp_path / "powercap", {"package-0": 0},
+            subdomains=False, dram=0,
+        )
+        (root / "intel-rapl:0" / "energy_uj").write_text("garbage\n")
+        provider = detect_provider(
+            rapl_root=root, stat_path=tmp_path / "missing"
+        )
+        assert provider.name == "model"
+
+    def test_provenance_records_dram_plane(self, tmp_path):
+        root = make_rapl_tree(
+            tmp_path / "powercap", {"package-0": 0}, dram=0
+        )
+        record = DramRaplProvider(root, clock=FakeClock()).provenance()
+        assert record["provider"] == "dram"
+        assert record["kind"] == "measured"
+        assert record["domains"] == ["intel-rapl:0/dram"]
 
 
 # ---------------------------------------------------------------------------
@@ -314,7 +420,7 @@ class TestDetection:
         diag = provider_diagnostics(
             rapl_root=tmp_path / "nope", stat_path=tmp_path / "missing"
         )
-        assert set(diag) == {"rapl", "procfs", "model"}
+        assert set(diag) == {"rapl", "dram", "procfs", "model"}
         assert diag["model"].startswith("available")
 
 
@@ -615,7 +721,7 @@ class TestProvenance:
         assert "rapl_available" in record
         assert record["power_provider"]["provider"] in ("rapl", "procfs", "model")
         assert set(record["power_provider_diagnostics"]) == {
-            "rapl", "procfs", "model",
+            "rapl", "dram", "procfs", "model",
         }
         json.dumps(record)  # must be JSON-safe for BENCH_*.json
 
@@ -638,7 +744,9 @@ class TestPowerCli:
         assert "Per-phase energy breakdown" in text
         assert "TS/s/W" in text
         report = json.loads(out.read_text())
-        assert report["schema"] == "repro-power-report/1"
+        assert report["schema"] == "repro-bench-report/2"
+        assert report["kind"] == "power"
+        assert report["energy"] == {"provider": "model", "kind": "modeled"}
         assert report["joules_per_step"] > 0
         assert report["ts_per_s_per_watt"] > 0
         assert report["sampling"]["provider"] == "model"

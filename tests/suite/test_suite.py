@@ -1,4 +1,7 @@
-"""Tests for the five-benchmark suite: builders, taxonomy, registry."""
+"""Tests for the benchmark suite: builders, taxonomy, registry.
+
+The paper's five workloads plus the Tersoff multi-body extension.
+"""
 
 import numpy as np
 import pytest
@@ -7,21 +10,37 @@ from repro.suite import (
     BENCHMARK_NAMES,
     CPU_BENCHMARKS,
     GPU_BENCHMARKS,
+    PAPER_BENCHMARKS,
     get_benchmark,
     registry,
 )
 
 
 class TestRegistry:
-    def test_all_five_present(self):
-        assert set(BENCHMARK_NAMES) == {"rhodo", "lj", "chain", "eam", "chute"}
+    def test_all_six_present(self):
+        assert set(BENCHMARK_NAMES) == {
+            "rhodo",
+            "lj",
+            "chain",
+            "eam",
+            "chute",
+            "tersoff",
+        }
 
-    def test_cpu_covers_all(self):
-        assert set(CPU_BENCHMARKS) == set(BENCHMARK_NAMES)
+    def test_paper_set_is_the_original_five(self):
+        assert set(PAPER_BENCHMARKS) == {"rhodo", "lj", "chain", "eam", "chute"}
 
-    def test_gpu_excludes_chute(self):
-        """Section 6: the GPU package lacks the gran/hooke pair style."""
+    def test_cpu_covers_the_modeled_five(self):
+        """The CPU characterization (and the calibrated perf model built
+        from it) spans the paper's Table 2 set; Tersoff is measured-only."""
+        assert CPU_BENCHMARKS == PAPER_BENCHMARKS
+        assert "tersoff" not in CPU_BENCHMARKS
+
+    def test_gpu_excludes_chute_and_tersoff(self):
+        """Section 6: the GPU package lacks the gran/hooke pair style;
+        the Tersoff workload is CPU-only too."""
         assert "chute" not in GPU_BENCHMARKS
+        assert "tersoff" not in GPU_BENCHMARKS
         assert set(GPU_BENCHMARKS) == {"rhodo", "lj", "chain", "eam"}
 
     def test_unknown_name_rejected(self):
@@ -46,6 +65,8 @@ class TestTaxonomyTable2:
             ("chain", 1.12, 0.4, 5),
             ("eam", 4.95, 1.0, 45),
             ("chute", 1.0, 0.1, 7),
+            # Not a Table 2 row: the Tersoff extension workload.
+            ("tersoff", 3.0, 1.0, 4),
         ],
     )
     def test_cutoffs_and_neighbors(self, name, cutoff, skin, neighbors):
@@ -65,14 +86,17 @@ class TestTaxonomyTable2:
             expected = "NPT" if name == "rhodo" else "NVE"
             assert definition.taxonomy.integration == expected
 
-    def test_only_chute_ignores_newton(self):
+    def test_full_list_workloads_ignore_newton(self):
+        # Chute (frictional history) and Tersoff (directed bond order)
+        # evaluate every ordered pair, so there is no Newton saving.
         for name, definition in registry.items():
-            assert definition.newton == (name != "chute")
+            assert definition.newton == (name not in ("chute", "tersoff"))
 
     def test_force_fields(self):
         assert registry["rhodo"].taxonomy.force_field == "CHARMM"
         assert registry["eam"].taxonomy.force_field == "EAM"
         assert registry["chute"].taxonomy.force_field == "gran/hooke/history"
+        assert registry["tersoff"].taxonomy.force_field == "Tersoff"
 
 
 class TestBuilders:
@@ -149,7 +173,7 @@ class TestStability:
 class TestCrossLayerConsistency:
     """Suite definitions and perf-model workloads agree where they overlap."""
 
-    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    @pytest.mark.parametrize("name", CPU_BENCHMARKS)
     def test_shared_fields_in_sync(self, name):
         from repro.perfmodel.workloads import get_workload
 
